@@ -1,0 +1,111 @@
+// Command ietfrepro regenerates every table and figure of "Understanding
+// Congestion in IEEE 802.11b Wireless Networks" (Jardosh et al., IMC
+// 2005) from synthetic IETF62-style traces.
+//
+// Tables 1–2 and Figures 4–5 come from the day and plenary session
+// scenarios; the scatter Figures 6–15 come from the utilization sweep
+// ladder, mirroring how the paper pools both sessions' per-second data.
+//
+// Usage:
+//
+//	ietfrepro                 # everything, default scale
+//	ietfrepro -scale 0.5      # faster, smaller runs
+//	ietfrepro -only 8         # just Figure 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"wlan80211/internal/core"
+	"wlan80211/internal/report"
+	"wlan80211/internal/workload"
+)
+
+func main() {
+	var (
+		scale = flag.Float64("scale", 1.0, "scenario scale factor (0..1]")
+		only  = flag.Int("only", 0, "print only this figure number (0 = everything)")
+	)
+	flag.Parse()
+
+	day := workload.DaySession().Scale(*scale)
+	plenary := workload.PlenarySession().Scale(*scale)
+
+	// Table 1: the session plan itself.
+	t1 := report.NewTable("Table 1: data sets", "set", "channels", "duration_s", "peak_users")
+	t1.AddRow(day.Name, "1, 6, 11", day.DurationSec, day.PeakUsers)
+	t1.AddRow(plenary.Name, "1, 6, 11", plenary.DurationSec, plenary.PeakUsers)
+
+	if *only == 0 {
+		t1.WriteTo(os.Stdout)
+		fmt.Println()
+		report.Table2().WriteTo(os.Stdout)
+		fmt.Println()
+	}
+
+	// Session scenarios for Figures 4 and 5.
+	for _, s := range []workload.Session{day, plenary} {
+		b, err := s.Build()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ietfrepro:", err)
+			os.Exit(1)
+		}
+		recs := b.Run()
+		r := core.Analyze(recs)
+		if *only == 0 || *only == 4 || *only == 5 {
+			fmt.Printf("=== %s session (%d frames captured) ===\n\n", s.Name, len(recs))
+			if *only == 0 || *only == 4 {
+				report.Figure4a(r, 15).WriteTo(os.Stdout)
+				fmt.Println()
+				report.Figure4b(r).WriteTo(os.Stdout)
+				fmt.Println()
+				report.Figure4c(r, 15).WriteTo(os.Stdout)
+				fmt.Println()
+			}
+			if *only == 0 || *only == 5 {
+				report.Figure5(r).WriteTo(os.Stdout)
+				fmt.Println()
+				report.Figure5c(r).WriteTo(os.Stdout)
+				fmt.Println()
+			}
+		}
+	}
+
+	if *only == 4 || *only == 5 {
+		return
+	}
+
+	// Sweep ladder for Figures 6–15.
+	recs := workload.MultiSweep(workload.DefaultLadder(*scale))
+	r := core.Analyze(recs)
+	fmt.Printf("=== utilization sweep (%d frames captured) ===\n\n", len(recs))
+	figs := map[int]*report.Table{
+		6:  report.Figure6(r),
+		7:  report.Figure7(r),
+		8:  report.Figure8(r),
+		9:  report.Figure9(r),
+		10: report.Figure10(r),
+		11: report.Figure11(r),
+		12: report.Figure12(r),
+		13: report.Figure13(r),
+		14: report.Figure14(r),
+		15: report.Figure15(r),
+	}
+	if *only != 0 {
+		t, ok := figs[*only]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "ietfrepro: no figure %d\n", *only)
+			os.Exit(2)
+		}
+		t.WriteTo(os.Stdout)
+		return
+	}
+	report.Summary(r).WriteTo(os.Stdout)
+	fmt.Println()
+	for i := 6; i <= 15; i++ {
+		figs[i].WriteTo(os.Stdout)
+		fmt.Println()
+	}
+}

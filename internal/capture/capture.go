@@ -1,0 +1,220 @@
+// Package capture defines the in-memory representation of a sniffed
+// 802.11 frame — the MAC frame bytes plus the RFMon metadata the
+// paper's sniffers recorded (timestamp, rate, channel, SNR) — and the
+// bridging to the on-disk radiotap/pcap representation. It also merges
+// the per-channel traces of multiple sniffers into one time-ordered
+// stream, the first step of the paper's analysis pipeline.
+package capture
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+
+	"wlan80211/internal/pcapio"
+	"wlan80211/internal/phy"
+	"wlan80211/internal/radiotap"
+)
+
+// Record is one captured frame with its RFMon metadata.
+type Record struct {
+	// Time is the capture timestamp in microseconds from the trace
+	// epoch (the arrival time of the first bit).
+	Time phy.Micros
+	// Rate is the transmission rate of the frame.
+	Rate phy.Rate
+	// Channel is the channel the sniffer captured on.
+	Channel phy.Channel
+	// SignalDBm / NoiseDBm give received power and noise floor.
+	SignalDBm int8
+	NoiseDBm  int8
+	// SnifferID identifies which sniffer produced the record, for
+	// multi-sniffer dedup during merge.
+	SnifferID int
+	// OrigLen is the over-the-air frame length in bytes including the
+	// FCS — the length the paper's airtime and size-class computations
+	// use. Frame may be shorter (snap truncation).
+	OrigLen int
+	// Frame holds the captured MAC frame bytes, without FCS.
+	Frame []byte
+}
+
+// SNR returns the record's signal-to-noise ratio in dB.
+func (r *Record) SNR() float64 { return float64(r.SignalDBm) - float64(r.NoiseDBm) }
+
+// Second returns the one-second analysis interval this record falls
+// into (the paper computes all per-second metrics on these).
+func (r *Record) Second() int64 { return int64(r.Time / phy.MicrosPerSecond) }
+
+// ErrLinkType is returned when reading a pcap whose link type is not
+// radiotap-encapsulated 802.11.
+var ErrLinkType = errors.New("capture: pcap link type is not radiotap (127)")
+
+// ToPcap converts a Record to a pcap record with a radiotap header.
+func ToPcap(r Record) pcapio.Record {
+	h := radiotap.Header{
+		TSFT: uint64(r.Time), HaveTSFT: true,
+		Flags: 0, HaveFlags: true,
+		Rate: r.Rate, HaveRate: true,
+		Channel: r.Channel, HaveChannel: true,
+		SignalDBm: r.SignalDBm, HaveSignal: true,
+		NoiseDBm: r.NoiseDBm, HaveNoise: true,
+	}
+	hdr := h.Encode()
+	data := make([]byte, 0, len(hdr)+len(r.Frame))
+	data = append(data, hdr...)
+	data = append(data, r.Frame...)
+	return pcapio.Record{
+		TimestampMicros: int64(r.Time),
+		OrigLen:         len(hdr) + r.OrigLen,
+		Data:            data,
+	}
+}
+
+// FromPcap converts a radiotap pcap record back to a capture Record.
+func FromPcap(p pcapio.Record) (Record, error) {
+	h, err := radiotap.Decode(p.Data)
+	if err != nil {
+		return Record{}, fmt.Errorf("capture: decoding radiotap: %w", err)
+	}
+	r := Record{
+		Time:    phy.Micros(p.TimestampMicros),
+		OrigLen: p.OrigLen - h.Length,
+		Frame:   p.Data[h.Length:],
+	}
+	if h.HaveTSFT {
+		r.Time = phy.Micros(h.TSFT)
+	}
+	if h.HaveRate {
+		r.Rate = h.Rate
+	}
+	if h.HaveChannel {
+		r.Channel = h.Channel
+	}
+	if h.HaveSignal {
+		r.SignalDBm = h.SignalDBm
+	}
+	if h.HaveNoise {
+		r.NoiseDBm = h.NoiseDBm
+	}
+	if r.OrigLen < len(r.Frame) {
+		r.OrigLen = len(r.Frame)
+	}
+	return r, nil
+}
+
+// Writer writes capture records to a radiotap pcap stream.
+type Writer struct {
+	pw *pcapio.Writer
+}
+
+// NewWriter creates a radiotap pcap writer with the given snap length
+// applied to the MAC frame (the radiotap header is always kept whole,
+// mirroring how tethereal snaps after the capture header).
+func NewWriter(w io.Writer, snapLen int) (*Writer, error) {
+	// Reserve headroom for the radiotap header (max 24 bytes here).
+	pcapSnap := 0
+	if snapLen > 0 {
+		pcapSnap = snapLen + 24
+	}
+	pw, err := pcapio.NewWriter(w, pcapio.LinkTypeRadiotap, pcapSnap)
+	if err != nil {
+		return nil, err
+	}
+	return &Writer{pw: pw}, nil
+}
+
+// Write appends one record.
+func (w *Writer) Write(r Record) error { return w.pw.WriteRecord(ToPcap(r)) }
+
+// Flush flushes the underlying pcap writer.
+func (w *Writer) Flush() error { return w.pw.Flush() }
+
+// ReadAll reads an entire radiotap pcap stream into capture records.
+// Records that fail radiotap decoding are skipped (counted in the
+// second return), matching the tolerant behaviour of trace tooling.
+func ReadAll(rd io.Reader) ([]Record, int, error) {
+	pr, err := pcapio.NewReader(rd)
+	if err != nil {
+		return nil, 0, err
+	}
+	if pr.LinkType() != pcapio.LinkTypeRadiotap {
+		return nil, 0, ErrLinkType
+	}
+	var recs []Record
+	skipped := 0
+	for {
+		p, err := pr.Next()
+		if err == io.EOF {
+			return recs, skipped, nil
+		}
+		if err != nil {
+			return recs, skipped, err
+		}
+		r, err := FromPcap(p)
+		if err != nil {
+			skipped++
+			continue
+		}
+		recs = append(recs, r)
+	}
+}
+
+// Merge combines multiple per-sniffer traces into one stream sorted by
+// timestamp. When two sniffers captured the same transmission (equal
+// time, channel, and frame bytes), only one copy is kept — co-located
+// sniffers during the plenary session would otherwise double-count.
+// The inputs need not be sorted. Merge is stable for distinct records
+// with equal timestamps.
+func Merge(traces ...[]Record) []Record {
+	total := 0
+	for _, t := range traces {
+		total += len(t)
+	}
+	out := make([]Record, 0, total)
+	for _, t := range traces {
+		out = append(out, t...)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Time < out[j].Time })
+	// Drop duplicates among equal-time runs.
+	dedup := out[:0]
+	for i, r := range out {
+		dup := false
+		for j := i - 1; j >= 0 && out[j].Time == r.Time; j-- {
+			if sameAir(&out[j], &r) {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			dedup = append(dedup, r)
+		}
+	}
+	return dedup
+}
+
+// sameAir reports whether two records describe the same over-the-air
+// transmission seen by different sniffers.
+func sameAir(a, b *Record) bool {
+	if a.Time != b.Time || a.Channel != b.Channel || a.Rate != b.Rate || len(a.Frame) != len(b.Frame) {
+		return false
+	}
+	for i := range a.Frame {
+		if a.Frame[i] != b.Frame[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// SplitByChannel partitions a merged trace by channel, the unit at
+// which the paper computes utilization (each sniffer listened to one
+// of channels 1, 6, 11).
+func SplitByChannel(recs []Record) map[phy.Channel][]Record {
+	out := make(map[phy.Channel][]Record)
+	for _, r := range recs {
+		out[r.Channel] = append(out[r.Channel], r)
+	}
+	return out
+}

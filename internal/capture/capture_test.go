@@ -1,0 +1,184 @@
+package capture
+
+import (
+	"bytes"
+	"testing"
+
+	"wlan80211/internal/dot11"
+	"wlan80211/internal/pcapio"
+	"wlan80211/internal/phy"
+)
+
+func testRecord(t phy.Micros, ch phy.Channel, payload byte) Record {
+	f := dot11.NewData(dot11.AddrFromUint64(1), dot11.AddrFromUint64(2), dot11.AddrFromUint64(3), 1, []byte{payload})
+	wire := f.AppendTo(nil)
+	return Record{
+		Time: t, Rate: phy.Rate11Mbps, Channel: ch,
+		SignalDBm: -50, NoiseDBm: -95,
+		OrigLen: f.WireLen(), Frame: wire,
+	}
+}
+
+func TestSNRAndSecond(t *testing.T) {
+	r := testRecord(2_500_000, phy.Channel1, 0)
+	if r.SNR() != 45 {
+		t.Errorf("SNR = %v", r.SNR())
+	}
+	if r.Second() != 2 {
+		t.Errorf("Second = %d", r.Second())
+	}
+}
+
+func TestPcapRoundTrip(t *testing.T) {
+	r := testRecord(123456, phy.Channel6, 0xaa)
+	p := ToPcap(r)
+	got, err := FromPcap(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Time != r.Time || got.Rate != r.Rate || got.Channel != r.Channel ||
+		got.SignalDBm != r.SignalDBm || got.NoiseDBm != r.NoiseDBm {
+		t.Errorf("metadata mismatch: %+v vs %+v", got, r)
+	}
+	if !bytes.Equal(got.Frame, r.Frame) {
+		t.Error("frame bytes mismatch")
+	}
+	if got.OrigLen != r.OrigLen {
+		t.Errorf("OrigLen = %d, want %d", got.OrigLen, r.OrigLen)
+	}
+}
+
+func TestWriterReadAll(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Record{
+		testRecord(1000, phy.Channel1, 1),
+		testRecord(2000, phy.Channel6, 2),
+		testRecord(3000, phy.Channel11, 3),
+	}
+	for _, r := range want {
+		if err := w.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.Flush()
+	got, skipped, err := ReadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skipped != 0 {
+		t.Errorf("skipped = %d", skipped)
+	}
+	if len(got) != 3 {
+		t.Fatalf("got %d records", len(got))
+	}
+	for i := range want {
+		if got[i].Time != want[i].Time || got[i].Channel != want[i].Channel {
+			t.Errorf("record %d mismatch", i)
+		}
+	}
+}
+
+func TestWriterSnapLen(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, 250)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := testRecord(1, phy.Channel1, 0)
+	big.Frame = bytes.Repeat([]byte{0x08, 0x00}, 700) // 1400-byte frame
+	big.OrigLen = 1404
+	if err := w.Write(big); err != nil {
+		t.Fatal(err)
+	}
+	w.Flush()
+	got, _, err := ReadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatal("lost record")
+	}
+	// Frame snapped to ~250 bytes but OrigLen preserved.
+	if len(got[0].Frame) > 260 {
+		t.Errorf("frame not snapped: %d bytes", len(got[0].Frame))
+	}
+	if got[0].OrigLen != 1404 {
+		t.Errorf("OrigLen = %d, want 1404", got[0].OrigLen)
+	}
+}
+
+func TestReadAllWrongLinkType(t *testing.T) {
+	var buf bytes.Buffer
+	pw, _ := pcapio.NewWriter(&buf, pcapio.LinkTypeIEEE80211, 0)
+	pw.WriteRecord(pcapio.Record{Data: []byte{1}})
+	pw.Flush()
+	if _, _, err := ReadAll(&buf); err != ErrLinkType {
+		t.Errorf("err = %v, want ErrLinkType", err)
+	}
+}
+
+func TestReadAllSkipsBadRadiotap(t *testing.T) {
+	var buf bytes.Buffer
+	pw, _ := pcapio.NewWriter(&buf, pcapio.LinkTypeRadiotap, 0)
+	pw.WriteRecord(ToPcap(testRecord(1, phy.Channel1, 0)))
+	pw.WriteRecord(pcapio.Record{TimestampMicros: 2, Data: []byte{9, 9}}) // garbage
+	pw.WriteRecord(ToPcap(testRecord(3, phy.Channel1, 0)))
+	pw.Flush()
+	got, skipped, err := ReadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skipped != 1 || len(got) != 2 {
+		t.Errorf("skipped=%d len=%d", skipped, len(got))
+	}
+}
+
+func TestMergeSortsAndDedups(t *testing.T) {
+	a := testRecord(100, phy.Channel1, 1)
+	b := testRecord(50, phy.Channel1, 2)
+	dupOfA := a // same transmission seen by another sniffer
+	dupOfA.SnifferID = 2
+	dupOfA.SignalDBm = -60 // different RSSI at a different sniffer
+	c := testRecord(100, phy.Channel6, 3)
+
+	merged := Merge([]Record{a, c}, []Record{b, dupOfA})
+	if len(merged) != 3 {
+		t.Fatalf("merged %d records, want 3", len(merged))
+	}
+	if merged[0].Time != 50 {
+		t.Error("not sorted")
+	}
+	// Same time but different channel must survive.
+	chans := map[phy.Channel]bool{}
+	for _, r := range merged {
+		chans[r.Channel] = true
+	}
+	if !chans[phy.Channel6] {
+		t.Error("channel-6 record lost in dedup")
+	}
+}
+
+func TestMergeEmpty(t *testing.T) {
+	if got := Merge(); len(got) != 0 {
+		t.Error("empty merge must be empty")
+	}
+	if got := Merge(nil, nil); len(got) != 0 {
+		t.Error("merge of nils must be empty")
+	}
+}
+
+func TestSplitByChannel(t *testing.T) {
+	recs := []Record{
+		testRecord(1, phy.Channel1, 0),
+		testRecord(2, phy.Channel6, 0),
+		testRecord(3, phy.Channel1, 0),
+	}
+	m := SplitByChannel(recs)
+	if len(m[phy.Channel1]) != 2 || len(m[phy.Channel6]) != 1 {
+		t.Errorf("split: %d/%d", len(m[phy.Channel1]), len(m[phy.Channel6]))
+	}
+}

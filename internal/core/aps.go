@@ -1,0 +1,161 @@
+package core
+
+import (
+	"sort"
+
+	"wlan80211/internal/dot11"
+	"wlan80211/internal/phy"
+)
+
+// APReport accumulates per-AP traffic and unrecorded-frame estimates
+// (Figures 4a and 4c). APs are discovered from beacons and FromDS data
+// frames before the main pass.
+type APReport struct {
+	aps   map[dot11.Addr]*APStat
+	known map[dot11.Addr]bool
+}
+
+// APStat is one AP's counters.
+type APStat struct {
+	// Addr identifies the AP (its BSSID).
+	Addr dot11.Addr
+	// Frames counts captured frames sent or received by the AP.
+	Frames int64
+	// Unrecorded counts frames attributed to the AP by the atomicity
+	// estimators of Sec 4.4.
+	Unrecorded int64
+}
+
+// UnrecordedPercent is Equation 1 applied per AP.
+func (s *APStat) UnrecordedPercent() float64 {
+	if s.Unrecorded+s.Frames == 0 {
+		return 0
+	}
+	return 100 * float64(s.Unrecorded) / float64(s.Unrecorded+s.Frames)
+}
+
+func (r *APReport) init(aps map[dot11.Addr]bool) {
+	r.aps = make(map[dot11.Addr]*APStat, len(aps))
+	r.known = aps
+	for a := range aps {
+		r.aps[a] = &APStat{Addr: a}
+	}
+}
+
+// IsAP reports whether an address belongs to a discovered AP.
+func (r *APReport) IsAP(a dot11.Addr) bool { return r.known[a] }
+
+// observe counts a captured frame against every AP that transmitted or
+// was addressed by it.
+func (r *APReport) observe(p dot11.Parsed) {
+	count := func(a dot11.Addr) {
+		if s, ok := r.aps[a]; ok {
+			s.Frames++
+		}
+	}
+	if ta, ok := dot11.TransmitterOf(p.Frame); ok {
+		count(ta)
+	}
+	ra := dot11.ReceiverOf(p.Frame)
+	if !ra.IsGroup() {
+		count(ra)
+	}
+}
+
+// attributeUnrecorded charges an estimated-unrecorded frame to the
+// inferred transmitter, if it is an AP.
+func (r *APReport) attributeUnrecorded(ta dot11.Addr) {
+	if s, ok := r.aps[ta]; ok {
+		s.Unrecorded++
+	}
+}
+
+// Count returns the number of discovered APs.
+func (r *APReport) Count() int { return len(r.aps) }
+
+// Stat returns the stats for one AP (nil if unknown).
+func (r *APReport) Stat(a dot11.Addr) *APStat { return r.aps[a] }
+
+// TopN returns the N most active APs by frame count, in decreasing
+// order — the ranking of Figures 4a and 4c.
+func (r *APReport) TopN(n int) []*APStat {
+	out := make([]*APStat, 0, len(r.aps))
+	for _, s := range r.aps {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Frames != out[j].Frames {
+			return out[i].Frames > out[j].Frames
+		}
+		return out[i].Addr.String() < out[j].Addr.String() // stable tie-break
+	})
+	if n > len(out) {
+		n = len(out)
+	}
+	return out[:n]
+}
+
+// TopNShare returns the fraction of all AP-attributed frames carried
+// by the N most active APs (the paper: top 15 carried 90.33% day,
+// 95.37% plenary).
+func (r *APReport) TopNShare(n int) float64 {
+	var total, top int64
+	ranked := r.TopN(len(r.aps))
+	for i, s := range ranked {
+		total += s.Frames
+		if i < n {
+			top += s.Frames
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(top) / float64(total)
+}
+
+// userCounter estimates the number of associated users per 30-second
+// window by counting distinct client addresses participating in data
+// exchanges (Figure 4b).
+type userCounter struct {
+	aps     map[dot11.Addr]bool
+	windows map[int64]map[dot11.Addr]bool
+}
+
+func newUserCounter(aps map[dot11.Addr]bool) *userCounter {
+	return &userCounter{aps: aps, windows: make(map[int64]map[dot11.Addr]bool)}
+}
+
+func (u *userCounter) observe(t phy.Micros, p dot11.Parsed) {
+	d, ok := p.Frame.(*dot11.Data)
+	if !ok {
+		return
+	}
+	w := int64(t / phy.MicrosPerSecond / UserWindowSeconds)
+	add := func(a dot11.Addr) {
+		if a.IsGroup() || u.aps[a] {
+			return
+		}
+		m, ok := u.windows[w]
+		if !ok {
+			m = make(map[dot11.Addr]bool)
+			u.windows[w] = m
+		}
+		m[a] = true
+	}
+	// Client transmitters (ToDS) and client receivers (FromDS).
+	add(d.Addr2)
+	add(d.Addr1)
+}
+
+func (u *userCounter) series() []UserPoint {
+	keys := make([]int64, 0, len(u.windows))
+	for k := range u.windows {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	out := make([]UserPoint, len(keys))
+	for i, k := range keys {
+		out[i] = UserPoint{WindowStart: k * UserWindowSeconds, Users: len(u.windows[k])}
+	}
+	return out
+}

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"fmt"
+
+	"wlan80211/internal/phy"
+)
+
+// SizeClass is one of the paper's four frame-size classes (Sec 6).
+type SizeClass int
+
+// The four size classes.
+const (
+	SizeS  SizeClass = iota // 0–400 bytes: control, voice, audio
+	SizeM                   // 401–800 bytes
+	SizeL                   // 801–1200 bytes
+	SizeXL                  // >1200 bytes: file transfer, video
+)
+
+// SizeClassOf buckets a wire frame length (bytes, FCS included).
+func SizeClassOf(wireLen int) SizeClass {
+	switch {
+	case wireLen <= 400:
+		return SizeS
+	case wireLen <= 800:
+		return SizeM
+	case wireLen <= 1200:
+		return SizeL
+	default:
+		return SizeXL
+	}
+}
+
+// String implements fmt.Stringer ("S", "M", "L", "XL").
+func (s SizeClass) String() string {
+	switch s {
+	case SizeS:
+		return "S"
+	case SizeM:
+		return "M"
+	case SizeL:
+		return "L"
+	case SizeXL:
+		return "XL"
+	}
+	return fmt.Sprintf("size(%d)", int(s))
+}
+
+// Category is one of the paper's 16 size×rate frame categories,
+// named in the size-rate format of Sec 6 ("S-11", "XL-1", ...).
+type Category struct {
+	Size SizeClass
+	Rate phy.Rate
+}
+
+// CategoryOf builds the category of a frame.
+func CategoryOf(wireLen int, r phy.Rate) Category {
+	return Category{Size: SizeClassOf(wireLen), Rate: r}
+}
+
+// Index returns a dense index 0..15 (size-major) for array-backed
+// aggregation, and whether the category's rate is valid.
+func (c Category) Index() (int, bool) {
+	ri, ok := c.Rate.Index()
+	if !ok {
+		return 0, false
+	}
+	return int(c.Size)*4 + ri, true
+}
+
+// CategoryFromIndex is the inverse of Index.
+func CategoryFromIndex(i int) Category {
+	return Category{Size: SizeClass(i / 4), Rate: phy.Rates[i%4]}
+}
+
+// String implements fmt.Stringer using the paper's naming ("S-11").
+func (c Category) String() string {
+	r := ""
+	switch c.Rate {
+	case phy.Rate1Mbps:
+		r = "1"
+	case phy.Rate2Mbps:
+		r = "2"
+	case phy.Rate5_5Mbps:
+		r = "5.5"
+	case phy.Rate11Mbps:
+		r = "11"
+	default:
+		r = "?"
+	}
+	return c.Size.String() + "-" + r
+}
+
+// AllCategories lists the 16 categories in Index order.
+func AllCategories() []Category {
+	out := make([]Category, 16)
+	for i := range out {
+		out[i] = CategoryFromIndex(i)
+	}
+	return out
+}

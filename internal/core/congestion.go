@@ -1,0 +1,112 @@
+package core
+
+import "fmt"
+
+// Class is a congestion class (Sec 5.3).
+type Class int
+
+// The three congestion classes.
+const (
+	Uncongested Class = iota
+	Moderate
+	High
+)
+
+// String implements fmt.Stringer.
+func (c Class) String() string {
+	switch c {
+	case Uncongested:
+		return "uncongested"
+	case Moderate:
+		return "moderately congested"
+	case High:
+		return "highly congested"
+	}
+	return fmt.Sprintf("class(%d)", int(c))
+}
+
+// Classifier maps utilization percentages to congestion classes using
+// the paper's thresholds: below Low is uncongested, above Knee is
+// highly congested, between is moderate.
+type Classifier struct {
+	// Low is the uncongested/moderate boundary (paper: 30%).
+	Low int
+	// Knee is the moderate/high boundary — the utilization where
+	// throughput and goodput peak before collapsing (paper: 84%).
+	Knee int
+}
+
+// PaperClassifier returns the thresholds the paper derives for the
+// IETF network: 30% and 84%.
+func PaperClassifier() Classifier { return Classifier{Low: 30, Knee: 84} }
+
+// Classify returns the congestion class for a utilization percentage.
+func (c Classifier) Classify(utilization int) Class {
+	switch {
+	case utilization < c.Low:
+		return Uncongested
+	case utilization <= c.Knee:
+		return Moderate
+	default:
+		return High
+	}
+}
+
+// FindKnee locates the high-congestion threshold from an analysis
+// result: the utilization in [lo, hi] at which mean throughput peaks
+// (Sec 5.2 observes throughput rising to ~84% utilization and
+// collapsing beyond it). To resist noise in thinly-populated bins,
+// each candidate's throughput is the count-weighted mean over a ±3
+// point window, and windows carrying fewer than minN seconds are
+// ignored. If nothing qualifies it falls back to the paper's 84.
+func (r *Result) FindKnee(lo, hi int, minN int64) int {
+	best, bestV := -1, -1.0
+	for u := lo; u <= hi; u++ {
+		var sum float64
+		var n int64
+		for w := u - 3; w <= u+3; w++ {
+			if w < 0 || w > 100 {
+				continue
+			}
+			m, c := r.Throughput.Mean(w)
+			sum += m * float64(c)
+			n += c
+		}
+		if n < minN || n == 0 {
+			continue
+		}
+		if v := sum / float64(n); v > bestV {
+			best, bestV = u, v
+		}
+	}
+	if best < 0 {
+		return 84
+	}
+	return best
+}
+
+// DeriveClassifier builds a Classifier from the trace itself: Low
+// fixed at the paper's 30% (the paper sets it from the observed lack
+// of sub-30% data) and Knee from the throughput peak.
+func (r *Result) DeriveClassifier() Classifier {
+	return Classifier{Low: 30, Knee: r.FindKnee(30, 99, 3)}
+}
+
+// ClassShare returns the fraction of analyzed channel-seconds falling
+// in each class under the classifier.
+func (r *Result) ClassShare(c Classifier) map[Class]float64 {
+	counts := map[Class]int64{}
+	var total int64
+	for u := 0; u <= 100; u++ {
+		n := r.UtilHist.Count(u)
+		counts[c.Classify(u)] += n
+		total += n
+	}
+	out := make(map[Class]float64, 3)
+	for cl, n := range counts {
+		if total > 0 {
+			out[cl] = float64(n) / float64(total)
+		}
+	}
+	return out
+}

@@ -1,0 +1,144 @@
+package core
+
+import (
+	"testing"
+
+	"wlan80211/internal/capture"
+	"wlan80211/internal/dot11"
+	"wlan80211/internal/phy"
+)
+
+// beaconTrace builds a trace with beacons from one AP at the standard
+// interval, dropping the indices in missing.
+func beaconTrace(windows int, missing map[int]bool) []capture.Record {
+	interval := phy.Micros(dot11.BeaconIntervalTU) * 1024
+	var recs []capture.Record
+	i := 0
+	for t := phy.Micros(0); t < phy.Micros(windows)*10*phy.MicrosPerSecond; t += interval {
+		if !missing[i] {
+			b := dot11.NewBeacon(apAddr, "s", 1, uint64(t), uint16(i))
+			recs = append(recs, rec(t, b, phy.Rate1Mbps))
+		}
+		i++
+	}
+	return recs
+}
+
+func TestBeaconReliabilityPerfect(t *testing.T) {
+	recs := beaconTrace(3, nil)
+	r := MeasureBeaconReliability(recs, 10)
+	series := r.Series[apAddr]
+	if len(series) == 0 {
+		t.Fatal("no series")
+	}
+	if got := r.MeanRatio(); got < 0.95 {
+		t.Errorf("perfect beacons: MeanRatio = %v", got)
+	}
+	for _, p := range series {
+		if p.Expected < 90 {
+			t.Errorf("expected beacons per 10 s window = %d, want ≈97", p.Expected)
+		}
+		if p.Ratio() > 1 {
+			t.Errorf("ratio must clamp at 1: %v", p.Ratio())
+		}
+	}
+}
+
+func TestBeaconReliabilityWithLoss(t *testing.T) {
+	// Drop every other beacon: ratio ≈ 0.5.
+	missing := map[int]bool{}
+	for i := 0; i < 400; i += 2 {
+		missing[i] = true
+	}
+	r := MeasureBeaconReliability(beaconTrace(3, missing), 10)
+	got := r.MeanRatio()
+	if got < 0.4 || got > 0.6 {
+		t.Errorf("half loss: MeanRatio = %v, want ≈0.5", got)
+	}
+}
+
+func TestBeaconReliabilityDefaults(t *testing.T) {
+	r := MeasureBeaconReliability(nil, 0)
+	if r.WindowSeconds != UserWindowSeconds {
+		t.Errorf("default window = %d", r.WindowSeconds)
+	}
+	if r.MeanRatio() != 0 {
+		t.Error("empty trace must have 0 mean ratio")
+	}
+	if len(r.APs()) != 0 {
+		t.Error("empty trace must have no APs")
+	}
+}
+
+func TestBeaconReliabilityAPsSorted(t *testing.T) {
+	recs := beaconTrace(1, nil)
+	b2 := dot11.NewBeacon(sta2, "s", 1, 0, 0)
+	recs = append(recs, rec(5000, b2, phy.Rate1Mbps))
+	r := MeasureBeaconReliability(recs, 10)
+	aps := r.APs()
+	if len(aps) != 2 {
+		t.Fatalf("APs = %d", len(aps))
+	}
+	if aps[0].String() > aps[1].String() {
+		t.Error("APs must be sorted")
+	}
+}
+
+func TestReliabilityGapWindows(t *testing.T) {
+	// Beacons only in windows 0 and 2: window 1 must appear with 0
+	// received (the dip is the signal).
+	missing := map[int]bool{}
+	for i := 96; i <= 196; i++ { // second window's beacons
+		missing[i] = true
+	}
+	r := MeasureBeaconReliability(beaconTrace(3, missing), 10)
+	series := r.Series[apAddr]
+	var sawDip bool
+	for _, p := range series {
+		if p.Received <= 1 {
+			sawDip = true
+		}
+	}
+	if !sawDip {
+		t.Error("gap window not represented")
+	}
+}
+
+func TestPearson(t *testing.T) {
+	if got := pearson([]float64{1, 2, 3, 4}, []float64{2, 4, 6, 8}); got < 0.999 {
+		t.Errorf("perfect positive correlation = %v", got)
+	}
+	if got := pearson([]float64{1, 2, 3, 4}, []float64{8, 6, 4, 2}); got > -0.999 {
+		t.Errorf("perfect negative correlation = %v", got)
+	}
+	if pearson([]float64{1, 2}, []float64{1, 2}) != 0 {
+		t.Error("n<3 must be 0")
+	}
+	if pearson([]float64{1, 1, 1}, []float64{1, 2, 3}) != 0 {
+		t.Error("zero variance must be 0")
+	}
+}
+
+func TestCorrelateWithUtilization(t *testing.T) {
+	// Build a result whose utilization rises over three windows and a
+	// reliability series that falls: correlation must be negative.
+	res := &Result{PerChannel: map[phy.Channel][]SecondStat{}}
+	var secs []SecondStat
+	for s := int64(0); s < 30; s++ {
+		secs = append(secs, SecondStat{Second: s, Utilization: int(s * 3)})
+	}
+	res.PerChannel[phy.Channel1] = secs
+	r := &BeaconReliability{
+		WindowSeconds: 10,
+		Series: map[dot11.Addr][]ReliabilityPoint{
+			apAddr: {
+				{WindowStart: 0, Received: 95, Expected: 97},
+				{WindowStart: 10, Received: 60, Expected: 97},
+				{WindowStart: 20, Received: 20, Expected: 97},
+			},
+		},
+	}
+	if got := r.CorrelateWithUtilization(res); got >= 0 {
+		t.Errorf("correlation = %v, want negative", got)
+	}
+}

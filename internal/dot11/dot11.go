@@ -1,0 +1,205 @@
+// Package dot11 implements encoding and decoding of IEEE 802.11 MAC
+// frames: the frame-control word, the generic MAC header, the control
+// frames used by DCF (RTS, CTS, ACK), data frames, and the management
+// frames needed by this reproduction (beacon, association
+// request/response, probe request/response, disassociation).
+//
+// The package follows the decoding idioms of gopacket's layers package:
+// each frame type has DecodeFromBytes([]byte) error and
+// AppendTo([]byte) []byte methods, decoding is allocation-free, and a
+// top-level Parse dispatches on the frame-control word.
+package dot11
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// Addr is a 48-bit IEEE MAC address.
+type Addr [6]byte
+
+// Broadcast is the all-ones broadcast address.
+var Broadcast = Addr{0xff, 0xff, 0xff, 0xff, 0xff, 0xff}
+
+// String implements fmt.Stringer ("aa:bb:cc:dd:ee:ff").
+func (a Addr) String() string {
+	return fmt.Sprintf("%02x:%02x:%02x:%02x:%02x:%02x", a[0], a[1], a[2], a[3], a[4], a[5])
+}
+
+// IsBroadcast reports whether a is the broadcast address.
+func (a Addr) IsBroadcast() bool { return a == Broadcast }
+
+// IsGroup reports whether a is a group (multicast or broadcast)
+// address, i.e. has the I/G bit set. Group-addressed data frames are
+// not acknowledged (Sec 3 of the paper).
+func (a Addr) IsGroup() bool { return a[0]&0x01 != 0 }
+
+// AddrFromUint64 builds an address from the low 48 bits of v. The
+// simulator uses this to mint locally-administered unicast addresses.
+func AddrFromUint64(v uint64) Addr {
+	var a Addr
+	for i := 5; i >= 0; i-- {
+		a[i] = byte(v)
+		v >>= 8
+	}
+	a[0] &^= 0x01 // unicast
+	a[0] |= 0x02  // locally administered
+	return a
+}
+
+// Type is the 2-bit frame type from the frame-control word.
+type Type uint8
+
+// Frame types.
+const (
+	TypeMgmt Type = 0
+	TypeCtrl Type = 1
+	TypeData Type = 2
+)
+
+// String implements fmt.Stringer.
+func (t Type) String() string {
+	switch t {
+	case TypeMgmt:
+		return "mgmt"
+	case TypeCtrl:
+		return "ctrl"
+	case TypeData:
+		return "data"
+	}
+	return fmt.Sprintf("type(%d)", uint8(t))
+}
+
+// Subtype is the 4-bit frame subtype from the frame-control word.
+type Subtype uint8
+
+// Management subtypes.
+const (
+	SubtypeAssocReq  Subtype = 0
+	SubtypeAssocResp Subtype = 1
+	SubtypeProbeReq  Subtype = 4
+	SubtypeProbeResp Subtype = 5
+	SubtypeBeacon    Subtype = 8
+	SubtypeDisassoc  Subtype = 10
+	SubtypeAuth      Subtype = 11
+	SubtypeDeauth    Subtype = 12
+)
+
+// Control subtypes.
+const (
+	SubtypeRTS Subtype = 11
+	SubtypeCTS Subtype = 12
+	SubtypeACK Subtype = 13
+)
+
+// Data subtypes.
+const (
+	SubtypeData     Subtype = 0
+	SubtypeNullData Subtype = 4
+)
+
+// FrameControl is the 16-bit frame control word that begins every
+// 802.11 MAC frame.
+type FrameControl struct {
+	Version   uint8 // protocol version, always 0
+	Type      Type
+	Subtype   Subtype
+	ToDS      bool
+	FromDS    bool
+	MoreFrag  bool
+	Retry     bool // set on retransmissions; the analysis relies on it
+	PwrMgmt   bool
+	MoreData  bool
+	Protected bool
+	Order     bool
+}
+
+// Uint16 packs the frame control word into its wire representation.
+func (fc FrameControl) Uint16() uint16 {
+	v := uint16(fc.Version&0x3) |
+		uint16(fc.Type&0x3)<<2 |
+		uint16(fc.Subtype&0xf)<<4
+	if fc.ToDS {
+		v |= 1 << 8
+	}
+	if fc.FromDS {
+		v |= 1 << 9
+	}
+	if fc.MoreFrag {
+		v |= 1 << 10
+	}
+	if fc.Retry {
+		v |= 1 << 11
+	}
+	if fc.PwrMgmt {
+		v |= 1 << 12
+	}
+	if fc.MoreData {
+		v |= 1 << 13
+	}
+	if fc.Protected {
+		v |= 1 << 14
+	}
+	if fc.Order {
+		v |= 1 << 15
+	}
+	return v
+}
+
+// FrameControlFromUint16 unpacks a wire frame-control word.
+func FrameControlFromUint16(v uint16) FrameControl {
+	return FrameControl{
+		Version:   uint8(v & 0x3),
+		Type:      Type(v >> 2 & 0x3),
+		Subtype:   Subtype(v >> 4 & 0xf),
+		ToDS:      v&(1<<8) != 0,
+		FromDS:    v&(1<<9) != 0,
+		MoreFrag:  v&(1<<10) != 0,
+		Retry:     v&(1<<11) != 0,
+		PwrMgmt:   v&(1<<12) != 0,
+		MoreData:  v&(1<<13) != 0,
+		Protected: v&(1<<14) != 0,
+		Order:     v&(1<<15) != 0,
+	}
+}
+
+// String implements fmt.Stringer ("data/0 retry" etc.).
+func (fc FrameControl) String() string {
+	s := fmt.Sprintf("%v/%d", fc.Type, fc.Subtype)
+	if fc.Retry {
+		s += " retry"
+	}
+	return s
+}
+
+// Frame decode errors.
+var (
+	ErrTruncated  = errors.New("dot11: frame truncated")
+	ErrBadFCS     = errors.New("dot11: FCS mismatch")
+	ErrWrongType  = errors.New("dot11: frame control does not match frame type")
+	ErrBadVersion = errors.New("dot11: unsupported protocol version")
+)
+
+// FCS computes the IEEE CRC-32 frame check sequence over frame (the
+// MAC header and body, FCS excluded).
+func FCS(frame []byte) uint32 { return crc32.ChecksumIEEE(frame) }
+
+// AppendFCS appends the 4-byte little-endian FCS of b to b.
+func AppendFCS(b []byte) []byte {
+	return binary.LittleEndian.AppendUint32(b, FCS(b))
+}
+
+// CheckFCS verifies that the final 4 bytes of frame are the correct FCS
+// for the preceding bytes. It returns the frame without the FCS.
+func CheckFCS(frame []byte) ([]byte, error) {
+	if len(frame) < 4 {
+		return nil, ErrTruncated
+	}
+	body, fcs := frame[:len(frame)-4], binary.LittleEndian.Uint32(frame[len(frame)-4:])
+	if FCS(body) != fcs {
+		return nil, ErrBadFCS
+	}
+	return body, nil
+}

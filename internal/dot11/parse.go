@@ -1,0 +1,95 @@
+package dot11
+
+import "encoding/binary"
+
+// Parsed is the result of Parse: the frame-control word plus the
+// decoded frame, one of *RTS, *CTS, *ACK, *Data, or *Management.
+type Parsed struct {
+	FC    FrameControl
+	Frame Frame
+}
+
+// Parse decodes an 802.11 MAC frame (without FCS) by dispatching on
+// the frame-control word. Snap-length truncated frames parse as long
+// as the fixed header survives (the paper captured only 250 bytes per
+// frame; Sec 4.2).
+func Parse(data []byte) (Parsed, error) {
+	if len(data) < 2 {
+		return Parsed{}, ErrTruncated
+	}
+	fc := FrameControlFromUint16(binary.LittleEndian.Uint16(data))
+	if fc.Version != 0 {
+		return Parsed{}, ErrBadVersion
+	}
+	var f Frame
+	switch fc.Type {
+	case TypeCtrl:
+		switch fc.Subtype {
+		case SubtypeRTS:
+			f = new(RTS)
+		case SubtypeCTS:
+			f = new(CTS)
+		case SubtypeACK:
+			f = new(ACK)
+		default:
+			return Parsed{}, ErrWrongType
+		}
+	case TypeData:
+		f = new(Data)
+	case TypeMgmt:
+		if fc.Subtype == SubtypeBeacon {
+			f = new(Beacon)
+		} else {
+			f = new(Management)
+		}
+	default:
+		return Parsed{}, ErrWrongType
+	}
+	if err := f.DecodeFromBytes(data); err != nil {
+		return Parsed{}, err
+	}
+	return Parsed{FC: fc, Frame: f}, nil
+}
+
+// Encode serializes a frame and appends its FCS, producing the
+// complete over-the-air MAC frame.
+func Encode(f Frame) []byte {
+	return AppendFCS(f.AppendTo(make([]byte, 0, f.WireLen())))
+}
+
+// TransmitterOf returns the transmitter address of a parsed frame and
+// whether it has one (CTS and ACK frames carry no transmitter
+// address — a fact the paper's atomicity-based estimators exploit in
+// reverse, inferring the transmitter from the preceding frame).
+func TransmitterOf(f Frame) (Addr, bool) {
+	switch t := f.(type) {
+	case *RTS:
+		return t.TA, true
+	case *Data:
+		return t.Addr2, true
+	case *Management:
+		return t.SA, true
+	case *Beacon:
+		return t.SA, true
+	}
+	return Addr{}, false
+}
+
+// ReceiverOf returns the receiver address of a parsed frame.
+func ReceiverOf(f Frame) Addr {
+	switch t := f.(type) {
+	case *RTS:
+		return t.RA
+	case *CTS:
+		return t.RA
+	case *ACK:
+		return t.RA
+	case *Data:
+		return t.Addr1
+	case *Management:
+		return t.DA
+	case *Beacon:
+		return t.DA
+	}
+	return Addr{}
+}

@@ -1,0 +1,152 @@
+// Package eventq provides the discrete-event scheduler driving the
+// 802.11b network simulator: a priority queue of timed callbacks on a
+// monotonic microsecond clock, with stable FIFO ordering for events
+// scheduled at the same instant and support for cancellation.
+package eventq
+
+import (
+	"container/heap"
+
+	"wlan80211/internal/phy"
+)
+
+// Event is a scheduled callback.
+type Event struct {
+	at     phy.Micros
+	seq    uint64
+	fn     func()
+	index  int // heap index; -1 once popped or cancelled
+	cancel bool
+}
+
+// At returns the time the event is scheduled for.
+func (e *Event) At() phy.Micros { return e.at }
+
+// Cancel prevents the event from firing. Cancelling an already-fired
+// or already-cancelled event is a no-op.
+func (e *Event) Cancel() { e.cancel = true }
+
+// Cancelled reports whether Cancel was called.
+func (e *Event) Cancelled() bool { return e.cancel }
+
+// Queue is a discrete-event scheduler. The zero value is ready to use.
+type Queue struct {
+	h    eventHeap
+	now  phy.Micros
+	seq  uint64
+	runs uint64
+}
+
+// Now returns the current simulation time.
+func (q *Queue) Now() phy.Micros { return q.now }
+
+// Len returns the number of pending (non-cancelled) events. Cancelled
+// events still in the heap are not counted.
+func (q *Queue) Len() int {
+	n := 0
+	for _, e := range q.h {
+		if !e.cancel {
+			n++
+		}
+	}
+	return n
+}
+
+// Processed returns the number of events that have fired.
+func (q *Queue) Processed() uint64 { return q.runs }
+
+// At schedules fn at absolute time t. Scheduling in the past (t <
+// Now()) clamps to Now(), which keeps the clock monotonic.
+func (q *Queue) At(t phy.Micros, fn func()) *Event {
+	if t < q.now {
+		t = q.now
+	}
+	e := &Event{at: t, seq: q.seq, fn: fn}
+	q.seq++
+	heap.Push(&q.h, e)
+	return e
+}
+
+// After schedules fn d microseconds from now.
+func (q *Queue) After(d phy.Micros, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return q.At(q.now+d, fn)
+}
+
+// Step fires the earliest pending event and returns true, or returns
+// false if the queue is empty.
+func (q *Queue) Step() bool {
+	for q.h.Len() > 0 {
+		e := heap.Pop(&q.h).(*Event)
+		if e.cancel {
+			continue
+		}
+		q.now = e.at
+		q.runs++
+		e.fn()
+		return true
+	}
+	return false
+}
+
+// RunUntil fires events in order until the next event would be after
+// deadline (or the queue empties). The clock finishes at exactly
+// deadline.
+func (q *Queue) RunUntil(deadline phy.Micros) {
+	for q.h.Len() > 0 {
+		e := q.h[0]
+		if e.cancel {
+			heap.Pop(&q.h)
+			continue
+		}
+		if e.at > deadline {
+			break
+		}
+		q.Step()
+	}
+	if q.now < deadline {
+		q.now = deadline
+	}
+}
+
+// Run fires all events until the queue is empty. Use with care: a
+// self-rescheduling event makes this unbounded — prefer RunUntil.
+func (q *Queue) Run() {
+	for q.Step() {
+	}
+}
+
+// eventHeap implements heap.Interface ordered by (time, seq).
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index, h[j].index = i, j
+}
+
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}

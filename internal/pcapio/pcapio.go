@@ -1,0 +1,206 @@
+// Package pcapio reads and writes libpcap capture files using only the
+// standard library. It supports the classic microsecond format and the
+// nanosecond variant, both byte orders on read, and per-record snap
+// length truncation on write — the on-disk format the paper's
+// tethereal-based collection framework produced.
+package pcapio
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Link types relevant to 802.11 capture.
+const (
+	// LinkTypeIEEE80211 is a bare 802.11 MAC frame.
+	LinkTypeIEEE80211 uint32 = 105
+	// LinkTypeRadiotap is an 802.11 frame preceded by a radiotap
+	// header — what RFMon-mode capture produces.
+	LinkTypeRadiotap uint32 = 127
+)
+
+// Magic numbers.
+const (
+	magicMicros = 0xa1b2c3d4
+	magicNanos  = 0xa1b23c4d
+)
+
+// Errors.
+var (
+	ErrBadMagic  = errors.New("pcapio: bad magic number")
+	ErrTruncated = errors.New("pcapio: truncated file")
+)
+
+// Record is one captured packet.
+type Record struct {
+	// TimestampMicros is the capture time in microseconds since the
+	// epoch of the trace.
+	TimestampMicros int64
+	// OrigLen is the original packet length on the wire.
+	OrigLen int
+	// Data is the captured bytes (possibly snap-truncated).
+	Data []byte
+}
+
+// CapLen returns the captured length.
+func (r *Record) CapLen() int { return len(r.Data) }
+
+// Truncated reports whether the record was snap-length truncated.
+func (r *Record) Truncated() bool { return len(r.Data) < r.OrigLen }
+
+// Writer writes a pcap file.
+type Writer struct {
+	w        *bufio.Writer
+	snapLen  int
+	linkType uint32
+	wrote    bool
+}
+
+// DefaultSnapLen mirrors the paper's collection configuration: "the
+// snap-length of the captured packets was set to 250 bytes" (plus room
+// for the radiotap header we prepend).
+const DefaultSnapLen = 250
+
+// NewWriter creates a pcap writer with the given link type and snap
+// length (0 means unlimited, stored as 65535).
+func NewWriter(w io.Writer, linkType uint32, snapLen int) (*Writer, error) {
+	if snapLen <= 0 {
+		snapLen = 65535
+	}
+	pw := &Writer{w: bufio.NewWriterSize(w, 1<<16), snapLen: snapLen, linkType: linkType}
+	hdr := make([]byte, 24)
+	binary.LittleEndian.PutUint32(hdr[0:], magicMicros)
+	binary.LittleEndian.PutUint16(hdr[4:], 2) // version major
+	binary.LittleEndian.PutUint16(hdr[6:], 4) // version minor
+	binary.LittleEndian.PutUint32(hdr[16:], uint32(snapLen))
+	binary.LittleEndian.PutUint32(hdr[20:], linkType)
+	if _, err := pw.w.Write(hdr); err != nil {
+		return nil, fmt.Errorf("pcapio: writing file header: %w", err)
+	}
+	return pw, nil
+}
+
+// SnapLen returns the writer's snap length.
+func (w *Writer) SnapLen() int { return w.snapLen }
+
+// WriteRecord writes one packet, truncating to the snap length. The
+// record's OrigLen is honored if it exceeds len(Data); otherwise the
+// original length is len(Data).
+func (w *Writer) WriteRecord(r Record) error {
+	data := r.Data
+	orig := r.OrigLen
+	if orig < len(data) {
+		orig = len(data)
+	}
+	if len(data) > w.snapLen {
+		data = data[:w.snapLen]
+	}
+	var hdr [16]byte
+	sec := r.TimestampMicros / 1_000_000
+	usec := r.TimestampMicros % 1_000_000
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(sec))
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(usec))
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(len(data)))
+	binary.LittleEndian.PutUint32(hdr[12:], uint32(orig))
+	if _, err := w.w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("pcapio: writing record header: %w", err)
+	}
+	if _, err := w.w.Write(data); err != nil {
+		return fmt.Errorf("pcapio: writing record data: %w", err)
+	}
+	w.wrote = true
+	return nil
+}
+
+// Flush flushes buffered records to the underlying writer.
+func (w *Writer) Flush() error { return w.w.Flush() }
+
+// Reader reads a pcap file.
+type Reader struct {
+	r        *bufio.Reader
+	order    binary.ByteOrder
+	nanos    bool
+	snapLen  int
+	linkType uint32
+}
+
+// NewReader parses the pcap file header and prepares to read records.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	hdr := make([]byte, 24)
+	if _, err := io.ReadFull(br, hdr); err != nil {
+		return nil, ErrTruncated
+	}
+	pr := &Reader{r: br}
+	magicLE := binary.LittleEndian.Uint32(hdr)
+	magicBE := binary.BigEndian.Uint32(hdr)
+	switch {
+	case magicLE == magicMicros:
+		pr.order = binary.LittleEndian
+	case magicLE == magicNanos:
+		pr.order, pr.nanos = binary.LittleEndian, true
+	case magicBE == magicMicros:
+		pr.order = binary.BigEndian
+	case magicBE == magicNanos:
+		pr.order, pr.nanos = binary.BigEndian, true
+	default:
+		return nil, ErrBadMagic
+	}
+	pr.snapLen = int(pr.order.Uint32(hdr[16:]))
+	pr.linkType = pr.order.Uint32(hdr[20:])
+	return pr, nil
+}
+
+// LinkType returns the file's link type.
+func (r *Reader) LinkType() uint32 { return r.linkType }
+
+// SnapLen returns the file's snap length.
+func (r *Reader) SnapLen() int { return r.snapLen }
+
+// Next reads the next record. It returns io.EOF cleanly at end of
+// file and ErrTruncated if a record is cut short.
+func (r *Reader) Next() (Record, error) {
+	var hdr [16]byte
+	if _, err := io.ReadFull(r.r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return Record{}, io.EOF
+		}
+		return Record{}, ErrTruncated
+	}
+	sec := int64(r.order.Uint32(hdr[0:]))
+	sub := int64(r.order.Uint32(hdr[4:]))
+	capLen := int(r.order.Uint32(hdr[8:]))
+	origLen := int(r.order.Uint32(hdr[12:]))
+	if capLen < 0 || capLen > 1<<24 {
+		return Record{}, ErrTruncated
+	}
+	data := make([]byte, capLen)
+	if _, err := io.ReadFull(r.r, data); err != nil {
+		return Record{}, ErrTruncated
+	}
+	ts := sec * 1_000_000
+	if r.nanos {
+		ts += sub / 1000
+	} else {
+		ts += sub
+	}
+	return Record{TimestampMicros: ts, OrigLen: origLen, Data: data}, nil
+}
+
+// ReadAll drains the reader into a slice.
+func ReadAll(r *Reader) ([]Record, error) {
+	var recs []Record
+	for {
+		rec, err := r.Next()
+		if err == io.EOF {
+			return recs, nil
+		}
+		if err != nil {
+			return recs, err
+		}
+		recs = append(recs, rec)
+	}
+}

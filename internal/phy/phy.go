@@ -1,0 +1,150 @@
+// Package phy models the IEEE 802.11b physical layer: the four DSSS/CCK
+// data rates, channelization in the 2.4 GHz ISM band, PLCP framing
+// overhead, frame airtime, and a signal-propagation / frame-error model.
+//
+// All timing in this package is expressed in integer microseconds, the
+// native unit of 802.11 MAC timing (see Table 2 of Jardosh et al., IMC
+// 2005). Rates are expressed in units of 100 kbps so that 5.5 Mbps is
+// representable as an integer (55).
+package phy
+
+import "fmt"
+
+// Micros is a duration or instant in integer microseconds. The MAC and
+// the simulator use a monotonic microsecond clock; one second of channel
+// time is exactly 1e6 Micros.
+type Micros = int64
+
+// MicrosPerSecond is the number of microseconds in one second.
+const MicrosPerSecond Micros = 1_000_000
+
+// Rate identifies one of the four IEEE 802.11b data rates. The value is
+// the rate in units of 100 kbps: Rate1Mbps == 10, Rate11Mbps == 110.
+type Rate uint16
+
+// The four 802.11b data rates.
+const (
+	Rate1Mbps   Rate = 10  // 1 Mbps DBPSK (Barker)
+	Rate2Mbps   Rate = 20  // 2 Mbps DQPSK (Barker)
+	Rate5_5Mbps Rate = 55  // 5.5 Mbps CCK
+	Rate11Mbps  Rate = 110 // 11 Mbps CCK
+)
+
+// Rates lists the 802.11b rates from slowest to fastest.
+var Rates = [4]Rate{Rate1Mbps, Rate2Mbps, Rate5_5Mbps, Rate11Mbps}
+
+// Valid reports whether r is one of the four 802.11b rates.
+func (r Rate) Valid() bool {
+	switch r {
+	case Rate1Mbps, Rate2Mbps, Rate5_5Mbps, Rate11Mbps:
+		return true
+	}
+	return false
+}
+
+// Kbps returns the rate in kilobits per second.
+func (r Rate) Kbps() int { return int(r) * 100 }
+
+// Mbps returns the rate in megabits per second.
+func (r Rate) Mbps() float64 { return float64(r) / 10 }
+
+// Index returns the position of r in Rates (0 for 1 Mbps .. 3 for
+// 11 Mbps) and true, or 0 and false if r is not a valid 802.11b rate.
+func (r Rate) Index() (int, bool) {
+	for i, v := range Rates {
+		if v == r {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// Next returns the next faster 802.11b rate, or r itself if r is
+// already 11 Mbps.
+func (r Rate) Next() Rate {
+	if i, ok := r.Index(); ok && i < len(Rates)-1 {
+		return Rates[i+1]
+	}
+	return r
+}
+
+// Prev returns the next slower 802.11b rate, or r itself if r is
+// already 1 Mbps.
+func (r Rate) Prev() Rate {
+	if i, ok := r.Index(); ok && i > 0 {
+		return Rates[i-1]
+	}
+	return r
+}
+
+// String implements fmt.Stringer ("1 Mbps", "5.5 Mbps", ...).
+func (r Rate) String() string {
+	switch r {
+	case Rate5_5Mbps:
+		return "5.5 Mbps"
+	default:
+		return fmt.Sprintf("%d Mbps", int(r)/10)
+	}
+}
+
+// RadiotapRate returns the rate in radiotap units of 500 kbps.
+func (r Rate) RadiotapRate() uint8 { return uint8(int(r) / 5) }
+
+// RateFromRadiotap converts a radiotap rate field (500 kbps units) to a
+// Rate, reporting whether it is a valid 802.11b rate.
+func RateFromRadiotap(v uint8) (Rate, bool) {
+	r := Rate(int(v) * 5)
+	return r, r.Valid()
+}
+
+// Channel is an IEEE 802.11b/g channel number in the 2.4 GHz band
+// (1..14).
+type Channel int
+
+// The three orthogonal 2.4 GHz channels used by the IETF62 network.
+const (
+	Channel1  Channel = 1
+	Channel6  Channel = 6
+	Channel11 Channel = 11
+)
+
+// OrthogonalChannels lists the classic non-overlapping 2.4 GHz channel
+// set {1, 6, 11} used throughout the paper.
+var OrthogonalChannels = [3]Channel{Channel1, Channel6, Channel11}
+
+// Valid reports whether c is a legal 2.4 GHz channel number.
+func (c Channel) Valid() bool { return c >= 1 && c <= 14 }
+
+// FreqMHz returns the channel center frequency in MHz. Channel 14 is
+// the Japanese special case at 2484 MHz.
+func (c Channel) FreqMHz() int {
+	if c == 14 {
+		return 2484
+	}
+	return 2407 + 5*int(c)
+}
+
+// ChannelFromFreq converts a center frequency in MHz to a channel
+// number, reporting whether the frequency is a 2.4 GHz channel.
+func ChannelFromFreq(mhz int) (Channel, bool) {
+	if mhz == 2484 {
+		return 14, true
+	}
+	if mhz < 2412 || mhz > 2472 || (mhz-2407)%5 != 0 {
+		return 0, false
+	}
+	return Channel(mhz-2407) / 5, true
+}
+
+// Overlaps reports whether two DSSS channels interfere. DSSS signals
+// are 22 MHz wide, so channels fewer than 5 apart overlap.
+func (c Channel) Overlaps(o Channel) bool {
+	d := int(c) - int(o)
+	if d < 0 {
+		d = -d
+	}
+	return d < 5
+}
+
+// String implements fmt.Stringer.
+func (c Channel) String() string { return fmt.Sprintf("channel %d", int(c)) }

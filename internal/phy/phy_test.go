@@ -1,0 +1,293 @@
+package phy
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRateValid(t *testing.T) {
+	for _, r := range Rates {
+		if !r.Valid() {
+			t.Errorf("%v should be valid", r)
+		}
+	}
+	for _, r := range []Rate{0, 5, 15, 30, 60, 120} {
+		if r.Valid() {
+			t.Errorf("Rate(%d) should be invalid", r)
+		}
+	}
+}
+
+func TestRateConversions(t *testing.T) {
+	cases := []struct {
+		r    Rate
+		kbps int
+		mbps float64
+		str  string
+		rt   uint8
+	}{
+		{Rate1Mbps, 1000, 1, "1 Mbps", 2},
+		{Rate2Mbps, 2000, 2, "2 Mbps", 4},
+		{Rate5_5Mbps, 5500, 5.5, "5.5 Mbps", 11},
+		{Rate11Mbps, 11000, 11, "11 Mbps", 22},
+	}
+	for _, c := range cases {
+		if got := c.r.Kbps(); got != c.kbps {
+			t.Errorf("%v.Kbps() = %d, want %d", c.r, got, c.kbps)
+		}
+		if got := c.r.Mbps(); got != c.mbps {
+			t.Errorf("%v.Mbps() = %v, want %v", c.r, got, c.mbps)
+		}
+		if got := c.r.String(); got != c.str {
+			t.Errorf("String() = %q, want %q", got, c.str)
+		}
+		if got := c.r.RadiotapRate(); got != c.rt {
+			t.Errorf("%v.RadiotapRate() = %d, want %d", c.r, got, c.rt)
+		}
+		back, ok := RateFromRadiotap(c.rt)
+		if !ok || back != c.r {
+			t.Errorf("RateFromRadiotap(%d) = %v, %v", c.rt, back, ok)
+		}
+	}
+}
+
+func TestRateNextPrev(t *testing.T) {
+	if Rate1Mbps.Prev() != Rate1Mbps {
+		t.Error("1 Mbps Prev should saturate")
+	}
+	if Rate11Mbps.Next() != Rate11Mbps {
+		t.Error("11 Mbps Next should saturate")
+	}
+	if Rate1Mbps.Next() != Rate2Mbps || Rate2Mbps.Next() != Rate5_5Mbps || Rate5_5Mbps.Next() != Rate11Mbps {
+		t.Error("Next ladder broken")
+	}
+	if Rate11Mbps.Prev() != Rate5_5Mbps || Rate5_5Mbps.Prev() != Rate2Mbps || Rate2Mbps.Prev() != Rate1Mbps {
+		t.Error("Prev ladder broken")
+	}
+}
+
+func TestRateIndex(t *testing.T) {
+	for i, r := range Rates {
+		gi, ok := r.Index()
+		if !ok || gi != i {
+			t.Errorf("%v.Index() = %d,%v want %d,true", r, gi, ok, i)
+		}
+	}
+	if _, ok := Rate(0).Index(); ok {
+		t.Error("invalid rate should have no index")
+	}
+}
+
+func TestChannelFreq(t *testing.T) {
+	cases := []struct {
+		c   Channel
+		mhz int
+	}{{1, 2412}, {6, 2437}, {11, 2462}, {13, 2472}, {14, 2484}}
+	for _, c := range cases {
+		if got := c.c.FreqMHz(); got != c.mhz {
+			t.Errorf("%v.FreqMHz() = %d, want %d", c.c, got, c.mhz)
+		}
+		back, ok := ChannelFromFreq(c.mhz)
+		if !ok || back != c.c {
+			t.Errorf("ChannelFromFreq(%d) = %v,%v", c.mhz, back, ok)
+		}
+	}
+	if _, ok := ChannelFromFreq(2413); ok {
+		t.Error("2413 MHz is not a channel")
+	}
+	if _, ok := ChannelFromFreq(5180); ok {
+		t.Error("5 GHz is not a 2.4 GHz channel")
+	}
+}
+
+func TestChannelOverlap(t *testing.T) {
+	if Channel1.Overlaps(Channel6) || Channel6.Overlaps(Channel11) || Channel1.Overlaps(Channel11) {
+		t.Error("1/6/11 must be orthogonal")
+	}
+	if !Channel1.Overlaps(Channel(4)) || !Channel6.Overlaps(Channel6) {
+		t.Error("nearby channels must overlap")
+	}
+}
+
+// TestTable2Constants pins the exact delay values of the paper's
+// Table 2, which the phy airtime functions must regenerate.
+func TestTable2Constants(t *testing.T) {
+	if SIFS != 10 {
+		t.Errorf("SIFS = %d, want 10", SIFS)
+	}
+	if DIFS != 50 {
+		t.Errorf("DIFS = %d, want 50", DIFS)
+	}
+	if PLCPLongPreamble != 192 {
+		t.Errorf("DPLCP = %d, want 192", PLCPLongPreamble)
+	}
+	if got := RtsDuration(ControlRate); got != 352 {
+		t.Errorf("DRTS = %d, want 352", got)
+	}
+	if got := CtsDuration(ControlRate); got != 304 {
+		t.Errorf("DCTS = %d, want 304", got)
+	}
+	if got := AckDuration(ControlRate); got != 304 {
+		t.Errorf("DACK = %d, want 304", got)
+	}
+}
+
+func TestAirtime(t *testing.T) {
+	// 1500 bytes at 11 Mbps: 192 + ceil(12000/11) = 192+1091 = 1283.
+	if got := Airtime(1500, Rate11Mbps); got != 1283 {
+		t.Errorf("Airtime(1500, 11) = %d, want 1283", got)
+	}
+	// 1500 bytes at 1 Mbps: 192 + 12000 = 12192.
+	if got := Airtime(1500, Rate1Mbps); got != 12192 {
+		t.Errorf("Airtime(1500, 1) = %d, want 12192", got)
+	}
+	// Zero/negative length degrades to just the preamble.
+	if got := Airtime(0, Rate2Mbps); got != 192 {
+		t.Errorf("Airtime(0) = %d, want 192", got)
+	}
+	if got := Airtime(-5, Rate2Mbps); got != 192 {
+		t.Errorf("Airtime(-5) = %d, want 192", got)
+	}
+	// Short preamble variant.
+	if got := AirtimePreamble(0, Rate1Mbps, PLCPShortPreamble); got != 96 {
+		t.Errorf("short preamble = %d, want 96", got)
+	}
+}
+
+// Property: airtime is monotone in length and antitone in rate.
+func TestAirtimeMonotonicity(t *testing.T) {
+	f := func(n uint16) bool {
+		l := int(n % 2400)
+		for i := 0; i < len(Rates)-1; i++ {
+			if Airtime(l, Rates[i]) < Airtime(l, Rates[i+1]) {
+				return false
+			}
+		}
+		return Airtime(l, Rate11Mbps) <= Airtime(l+1, Rate11Mbps)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPathLoss(t *testing.T) {
+	e := DefaultEnvironment()
+	if got := e.PathLossDB(1); got != e.RefLossDB {
+		t.Errorf("loss at 1 m = %v, want %v", got, e.RefLossDB)
+	}
+	if e.PathLossDB(10) <= e.PathLossDB(5) {
+		t.Error("loss must grow with distance")
+	}
+	if e.PathLossDB(0.1) != e.PathLossDB(1) {
+		t.Error("distance must clamp at 1 m")
+	}
+}
+
+func TestRxPowerShadowing(t *testing.T) {
+	e := DefaultEnvironment()
+	det := e.RxPowerDBm(15, 20, nil)
+	if det != 15-e.PathLossDB(20) {
+		t.Errorf("deterministic rx power wrong: %v", det)
+	}
+	rng := rand.New(rand.NewSource(1))
+	varied := false
+	for i := 0; i < 32; i++ {
+		if e.RxPowerDBm(15, 20, rng) != det {
+			varied = true
+			break
+		}
+	}
+	if !varied {
+		t.Error("shadowing should perturb rx power")
+	}
+	e.ShadowingSigmaDB = 0
+	if e.RxPowerDBm(15, 20, rng) != det {
+		t.Error("sigma=0 must be deterministic")
+	}
+}
+
+func TestBEROrdering(t *testing.T) {
+	// At any SNR, faster rates must have >= BER.
+	for snr := -5.0; snr <= 30; snr += 2.5 {
+		for i := 0; i < len(Rates)-1; i++ {
+			lo, hi := BER(snr, Rates[i]), BER(snr, Rates[i+1])
+			if lo > hi {
+				t.Fatalf("BER(%v, %v)=%g > BER(%v, %v)=%g", snr, Rates[i], lo, snr, Rates[i+1], hi)
+			}
+		}
+	}
+	if BER(10, Rate(99)) != 1 {
+		t.Error("invalid rate must return BER 1")
+	}
+}
+
+func TestBERWaterfall(t *testing.T) {
+	// BER must fall with SNR and be capped at 0.5.
+	for _, r := range Rates {
+		if BER(-30, r) > 0.5 {
+			t.Errorf("BER must cap at 0.5, got %g", BER(-30, r))
+		}
+		if BER(5, r) < BER(25, r) {
+			t.Errorf("%v: BER must fall with SNR", r)
+		}
+		if BER(30, r) > 1e-6 {
+			t.Errorf("%v: BER at 30 dB should be tiny, got %g", r, BER(30, r))
+		}
+	}
+}
+
+func TestFER(t *testing.T) {
+	// Longer frames fail more; higher rates fail more; high SNR ~ 0.
+	if FER(8, 1500, Rate11Mbps) <= FER(8, 100, Rate11Mbps) {
+		t.Error("longer frames must have higher FER")
+	}
+	if FER(8, 500, Rate11Mbps) <= FER(8, 500, Rate1Mbps) {
+		t.Error("faster rates must have higher FER at same SNR")
+	}
+	if got := FER(35, 1500, Rate11Mbps); got > 1e-3 {
+		t.Errorf("FER at 35 dB should be ~0, got %g", got)
+	}
+	if got := FER(-20, 1500, Rate11Mbps); got < 0.99 {
+		t.Errorf("FER at -20 dB should be ~1, got %g", got)
+	}
+	if FER(10, -4, Rate1Mbps) < 0 {
+		t.Error("negative length must not panic or go negative")
+	}
+}
+
+func TestFERProbabilityRange(t *testing.T) {
+	f := func(s int8, n uint16, ri uint8) bool {
+		snr := float64(s) / 2
+		fer := FER(snr, int(n%3000), Rates[int(ri)%4])
+		return fer >= 0 && fer <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMinSNRForFER(t *testing.T) {
+	// Faster rates need more SNR for the same FER target.
+	prev := -100.0
+	for _, r := range Rates {
+		s := MinSNRForFER(0.1, 1000, r)
+		if s < prev {
+			t.Errorf("MinSNR must be nondecreasing across rates, %v: %v < %v", r, s, prev)
+		}
+		prev = s
+		if got := FER(s, 1000, r); got > 0.1+1e-9 && s < 40 {
+			t.Errorf("FER at MinSNR exceeds target: %g", got)
+		}
+	}
+}
+
+func TestSenses(t *testing.T) {
+	e := DefaultEnvironment()
+	if !e.Senses(-60) {
+		t.Error("-60 dBm must be sensed")
+	}
+	if e.Senses(-90) {
+		t.Error("-90 dBm must not be sensed (hidden terminal regime)")
+	}
+}

@@ -1,0 +1,86 @@
+package phy
+
+// IEEE 802.11b MAC/PHY timing constants, in microseconds.
+//
+// These are the standard High-Rate DSSS values. Note one deliberate
+// deviation recorded in DESIGN.md: the paper's prose says "each slot
+// time is equal to 10 microseconds", but the 802.11b slot time is 20 µs
+// (and the paper's own DIFS = SIFS + 2*slot = 50 µs is only consistent
+// with a 20 µs slot). The simulator uses the standard 20 µs slot.
+const (
+	// SlotTime is the 802.11b slot time.
+	SlotTime Micros = 20
+	// SIFS is the Short Inter-Frame Space.
+	SIFS Micros = 10
+	// DIFS is the DCF Inter-Frame Space: SIFS + 2*SlotTime.
+	DIFS Micros = SIFS + 2*SlotTime
+	// EIFS is the Extended IFS used after a reception error:
+	// SIFS + DIFS + ACK time at 1 Mbps.
+	EIFS Micros = SIFS + DIFS + ackAirtime1Mbps
+
+	// PLCPLongPreamble is the long PLCP preamble+header duration. All
+	// 802.11b frames in this reproduction use the long preamble, which
+	// is the value the paper's Table 2 uses (DPLCP = 192 µs).
+	PLCPLongPreamble Micros = 192
+	// PLCPShortPreamble is the optional short preamble+header duration.
+	PLCPShortPreamble Micros = 96
+
+	// ackAirtime1Mbps is the airtime of a 14-byte ACK at 1 Mbps
+	// including the long PLCP preamble: 192 + 14*8 = 304.
+	ackAirtime1Mbps Micros = PLCPLongPreamble + 14*8
+)
+
+// Contention window bounds. The paper describes MaxBO growing
+// exponentially "from 31 to 255 slot times"; 802.11b's CWmax is 1023.
+// The simulator follows the paper's narrower window by default (the
+// network behaviour the paper reports was produced by such hardware),
+// but CWMaxStandard is available for sensitivity runs.
+const (
+	CWMin         = 31
+	CWMaxPaper    = 255
+	CWMaxStandard = 1023
+)
+
+// Airtime returns the time to transmit length bytes of MAC frame
+// (header + body + FCS) at rate r, including the long PLCP
+// preamble/header. The PLCP preamble and header are always transmitted
+// at 1 Mbps regardless of r, which is why DPLCP is a fixed 192 µs.
+//
+// The payload time is rounded up to a whole microsecond, matching the
+// ceil behaviour of real hardware duration fields.
+func Airtime(lengthBytes int, r Rate) Micros {
+	return AirtimePreamble(lengthBytes, r, PLCPLongPreamble)
+}
+
+// AirtimePreamble is Airtime with an explicit preamble duration, for
+// short-preamble experiments.
+func AirtimePreamble(lengthBytes int, r Rate, preamble Micros) Micros {
+	if lengthBytes < 0 {
+		lengthBytes = 0
+	}
+	bits := Micros(lengthBytes) * 8
+	kbps := Micros(r.Kbps())
+	if kbps == 0 {
+		return preamble
+	}
+	// ceil(bits * 1000 / kbps) microseconds.
+	payload := (bits*1000 + kbps - 1) / kbps
+	return preamble + payload
+}
+
+// AckDuration returns the airtime of an ACK control frame (14 bytes)
+// at rate r.
+func AckDuration(r Rate) Micros { return Airtime(14, r) }
+
+// CtsDuration returns the airtime of a CTS control frame (14 bytes)
+// at rate r.
+func CtsDuration(r Rate) Micros { return Airtime(14, r) }
+
+// RtsDuration returns the airtime of an RTS control frame (20 bytes)
+// at rate r.
+func RtsDuration(r Rate) Micros { return Airtime(20, r) }
+
+// ControlRate is the rate used for control responses (ACK/CTS) and RTS
+// in this reproduction: 1 Mbps, the basic rate, which yields the
+// paper's Table 2 values DRTS=352 and DCTS=DACK=304.
+const ControlRate = Rate1Mbps

@@ -1,0 +1,250 @@
+// Package rate implements the multirate adaptation schemes the paper
+// discusses. The IEEE 802.11 standard leaves rate adaptation to
+// vendors (Sec 3); the dominant scheme of the 802.11b era was Auto
+// Rate Fallback (ARF, Kamerman & Monteban 1997), which the paper
+// identifies as the cause of both the scarce use of 2/5.5 Mbps and the
+// throughput collapse under congestion: ARF cannot distinguish
+// collision losses from channel-error losses, so congestion drives
+// rates down, which deepens congestion (Sec 7).
+//
+// Implemented schemes:
+//
+//   - ARF: fall after 2 consecutive failures, probe up after 10
+//     consecutive successes or a timeout.
+//   - AARF: ARF with a success threshold that doubles after each
+//     failed probe (Lacage et al.), reducing probe thrashing.
+//   - SNRThreshold: the paper's suggested alternative — pick the
+//     fastest rate whose expected FER at the observed SNR is below a
+//     target, immune to collision-induced fallback.
+//   - Fixed: no adaptation, for baselines and ablations.
+package rate
+
+import (
+	"wlan80211/internal/phy"
+)
+
+// Adapter chooses transmission rates from per-frame feedback. The
+// simulator calls RateFor before each data transmission attempt and
+// exactly one of OnAck / OnFailure after it.
+type Adapter interface {
+	// RateFor returns the rate for the next transmission attempt of a
+	// frame of size bytes, given the most recent SNR estimate toward
+	// the receiver (dB; 0 if unknown).
+	RateFor(sizeBytes int, snrDB float64) phy.Rate
+	// OnAck reports a successful (acknowledged) transmission.
+	OnAck()
+	// OnFailure reports a transmission failure (ACK timeout).
+	OnFailure()
+	// Name identifies the scheme for reports.
+	Name() string
+}
+
+// Standard ARF parameters.
+const (
+	arfFallThreshold  = 2  // consecutive failures before rate drop
+	arfRaiseThreshold = 10 // consecutive successes before probe
+)
+
+// ARF is the classic Auto Rate Fallback adapter.
+type ARF struct {
+	cur     phy.Rate
+	succ    int
+	fail    int
+	probing bool // the next frame is the first at a raised rate
+}
+
+// NewARF returns an ARF adapter starting at the given rate.
+func NewARF(start phy.Rate) *ARF {
+	if !start.Valid() {
+		start = phy.Rate11Mbps
+	}
+	return &ARF{cur: start}
+}
+
+// Name implements Adapter.
+func (a *ARF) Name() string { return "arf" }
+
+// Rate returns the current rate without consuming feedback.
+func (a *ARF) Rate() phy.Rate { return a.cur }
+
+// RateFor implements Adapter.
+func (a *ARF) RateFor(int, float64) phy.Rate { return a.cur }
+
+// OnAck implements Adapter.
+func (a *ARF) OnAck() {
+	a.fail = 0
+	a.probing = false
+	a.succ++
+	if a.succ >= arfRaiseThreshold && a.cur != phy.Rate11Mbps {
+		a.cur = a.cur.Next()
+		a.succ = 0
+		a.probing = true
+	}
+}
+
+// OnFailure implements Adapter.
+func (a *ARF) OnFailure() {
+	a.succ = 0
+	a.fail++
+	// A failed probe drops immediately; otherwise after 2 failures.
+	if a.probing || a.fail >= arfFallThreshold {
+		a.cur = a.cur.Prev()
+		a.fail = 0
+		a.probing = false
+	}
+}
+
+// AARF is Adaptive ARF: like ARF, but each failed probe doubles the
+// success threshold required before the next probe (capped), which
+// stops the probe-fail-probe oscillation ARF exhibits under stable
+// channels.
+type AARF struct {
+	cur       phy.Rate
+	succ      int
+	fail      int
+	threshold int
+	probing   bool
+}
+
+const aarfMaxThreshold = 50
+
+// NewAARF returns an AARF adapter starting at the given rate.
+func NewAARF(start phy.Rate) *AARF {
+	if !start.Valid() {
+		start = phy.Rate11Mbps
+	}
+	return &AARF{cur: start, threshold: arfRaiseThreshold}
+}
+
+// Name implements Adapter.
+func (a *AARF) Name() string { return "aarf" }
+
+// Rate returns the current rate.
+func (a *AARF) Rate() phy.Rate { return a.cur }
+
+// RateFor implements Adapter.
+func (a *AARF) RateFor(int, float64) phy.Rate { return a.cur }
+
+// OnAck implements Adapter.
+func (a *AARF) OnAck() {
+	a.fail = 0
+	a.probing = false
+	a.succ++
+	if a.succ >= a.threshold && a.cur != phy.Rate11Mbps {
+		a.cur = a.cur.Next()
+		a.succ = 0
+		a.probing = true
+	}
+}
+
+// OnFailure implements Adapter.
+func (a *AARF) OnFailure() {
+	a.succ = 0
+	a.fail++
+	if a.probing {
+		// Failed probe: back off and double the success threshold.
+		a.cur = a.cur.Prev()
+		a.threshold *= 2
+		if a.threshold > aarfMaxThreshold {
+			a.threshold = aarfMaxThreshold
+		}
+		a.fail = 0
+		a.probing = false
+		return
+	}
+	if a.fail >= arfFallThreshold {
+		a.cur = a.cur.Prev()
+		a.threshold = arfRaiseThreshold
+		a.fail = 0
+	}
+}
+
+// SNRThreshold picks the fastest rate whose modelled FER at the
+// reported SNR is below Target — the SNR-based adaptation the paper
+// recommends (Sec 7, citing RBAR/OAR). It ignores ACK feedback
+// entirely, so collisions cannot drive it to low rates.
+type SNRThreshold struct {
+	// Target is the acceptable frame error rate (default 0.1).
+	Target float64
+	// MarginDB is subtracted from the reported SNR as a safety margin.
+	MarginDB float64
+}
+
+// NewSNRThreshold returns an SNR-threshold adapter with a 10% FER
+// target and 3 dB margin.
+func NewSNRThreshold() *SNRThreshold { return &SNRThreshold{Target: 0.1, MarginDB: 3} }
+
+// Name implements Adapter.
+func (s *SNRThreshold) Name() string { return "snr" }
+
+// RateFor implements Adapter.
+func (s *SNRThreshold) RateFor(sizeBytes int, snrDB float64) phy.Rate {
+	snr := snrDB - s.MarginDB
+	for i := len(phy.Rates) - 1; i > 0; i-- {
+		if phy.FER(snr, sizeBytes, phy.Rates[i]) <= s.Target {
+			return phy.Rates[i]
+		}
+	}
+	return phy.Rate1Mbps
+}
+
+// OnAck implements Adapter (no-op: SNR adaptation ignores ACKs).
+func (s *SNRThreshold) OnAck() {}
+
+// OnFailure implements Adapter (no-op).
+func (s *SNRThreshold) OnFailure() {}
+
+// Fixed always transmits at one rate.
+type Fixed struct{ R phy.Rate }
+
+// Name implements Adapter.
+func (f Fixed) Name() string { return "fixed-" + f.R.String() }
+
+// RateFor implements Adapter.
+func (f Fixed) RateFor(int, float64) phy.Rate { return f.R }
+
+// OnAck implements Adapter (no-op).
+func (f Fixed) OnAck() {}
+
+// OnFailure implements Adapter (no-op).
+func (f Fixed) OnFailure() {}
+
+// Factory builds a fresh Adapter per station, so stations do not share
+// adaptation state.
+type Factory func() Adapter
+
+// NewARFFactory returns a Factory producing ARF adapters starting at
+// 11 Mbps.
+func NewARFFactory() Factory { return func() Adapter { return NewARF(phy.Rate11Mbps) } }
+
+// NewAARFFactory returns a Factory producing AARF adapters.
+func NewAARFFactory() Factory { return func() Adapter { return NewAARF(phy.Rate11Mbps) } }
+
+// NewSNRFactory returns a Factory producing SNR-threshold adapters.
+func NewSNRFactory() Factory { return func() Adapter { return NewSNRThreshold() } }
+
+// NewFixedFactory returns a Factory producing fixed-rate adapters.
+func NewFixedFactory(r phy.Rate) Factory { return func() Adapter { return Fixed{R: r} } }
+
+// NewMixedFactory cycles deterministically through a population of
+// adapter types: a quarter classic ARF, a quarter AARF, half
+// SNR-threshold. The paper stresses the "large diversity in wireless
+// hardware" at the IETF (Sec 1); a heterogeneous population is what
+// produces its simultaneous observations of 1 Mbps channel occupancy
+// (ARF victims, Figure 8) and dominant 11 Mbps byte counts (radios
+// that hold the high rate, Figure 9), so scenario builders default to
+// this mix.
+func NewMixedFactory() Factory {
+	i := 0
+	return func() Adapter {
+		i++
+		switch i % 4 {
+		case 1:
+			return NewARF(phy.Rate11Mbps)
+		case 2:
+			return NewAARF(phy.Rate11Mbps)
+		default:
+			return NewSNRThreshold()
+		}
+	}
+}

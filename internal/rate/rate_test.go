@@ -1,0 +1,263 @@
+package rate
+
+import (
+	"testing"
+
+	"wlan80211/internal/phy"
+)
+
+func TestARFStartsAtGivenRate(t *testing.T) {
+	a := NewARF(phy.Rate5_5Mbps)
+	if a.Rate() != phy.Rate5_5Mbps {
+		t.Errorf("start rate = %v", a.Rate())
+	}
+	if NewARF(phy.Rate(3)).Rate() != phy.Rate11Mbps {
+		t.Error("invalid start must default to 11 Mbps")
+	}
+	if a.Name() != "arf" {
+		t.Error("name")
+	}
+}
+
+func TestARFFallsAfterTwoFailures(t *testing.T) {
+	a := NewARF(phy.Rate11Mbps)
+	a.OnFailure()
+	if a.Rate() != phy.Rate11Mbps {
+		t.Error("one failure must not drop the rate")
+	}
+	a.OnFailure()
+	if a.Rate() != phy.Rate5_5Mbps {
+		t.Errorf("two failures: %v, want 5.5", a.Rate())
+	}
+	// Keep failing all the way to 1 Mbps, then saturate.
+	for i := 0; i < 10; i++ {
+		a.OnFailure()
+	}
+	if a.Rate() != phy.Rate1Mbps {
+		t.Errorf("rate = %v, want 1 Mbps floor", a.Rate())
+	}
+}
+
+func TestARFRaisesAfterTenSuccesses(t *testing.T) {
+	a := NewARF(phy.Rate1Mbps)
+	for i := 0; i < 9; i++ {
+		a.OnAck()
+	}
+	if a.Rate() != phy.Rate1Mbps {
+		t.Error("9 successes must not raise")
+	}
+	a.OnAck()
+	if a.Rate() != phy.Rate2Mbps {
+		t.Errorf("10 successes: %v, want 2 Mbps", a.Rate())
+	}
+}
+
+func TestARFProbeFailureDropsImmediately(t *testing.T) {
+	a := NewARF(phy.Rate1Mbps)
+	for i := 0; i < 10; i++ {
+		a.OnAck()
+	}
+	if a.Rate() != phy.Rate2Mbps {
+		t.Fatal("probe not started")
+	}
+	a.OnFailure() // first frame at probed rate fails
+	if a.Rate() != phy.Rate1Mbps {
+		t.Errorf("failed probe must drop immediately, got %v", a.Rate())
+	}
+}
+
+func TestARFSuccessResetsFailureCount(t *testing.T) {
+	a := NewARF(phy.Rate11Mbps)
+	a.OnFailure()
+	a.OnAck()
+	a.OnFailure()
+	if a.Rate() != phy.Rate11Mbps {
+		t.Error("non-consecutive failures must not drop")
+	}
+}
+
+func TestARFCeiling(t *testing.T) {
+	a := NewARF(phy.Rate11Mbps)
+	for i := 0; i < 30; i++ {
+		a.OnAck()
+	}
+	if a.Rate() != phy.Rate11Mbps {
+		t.Error("rate must cap at 11 Mbps")
+	}
+}
+
+func TestARFRateForIgnoresArgs(t *testing.T) {
+	a := NewARF(phy.Rate2Mbps)
+	if a.RateFor(1500, 40) != phy.Rate2Mbps {
+		t.Error("ARF must ignore size and SNR")
+	}
+}
+
+func TestAARFDoublesThreshold(t *testing.T) {
+	a := NewAARF(phy.Rate1Mbps)
+	if a.Name() != "aarf" {
+		t.Error("name")
+	}
+	// Probe after 10 successes.
+	for i := 0; i < 10; i++ {
+		a.OnAck()
+	}
+	if a.Rate() != phy.Rate2Mbps {
+		t.Fatal("probe not started")
+	}
+	a.OnFailure() // failed probe → threshold 20
+	if a.Rate() != phy.Rate1Mbps {
+		t.Fatal("failed probe must drop")
+	}
+	for i := 0; i < 10; i++ {
+		a.OnAck()
+	}
+	if a.Rate() != phy.Rate1Mbps {
+		t.Error("10 successes must not probe (threshold now 20)")
+	}
+	for i := 0; i < 10; i++ {
+		a.OnAck()
+	}
+	if a.Rate() != phy.Rate2Mbps {
+		t.Error("20 successes must probe")
+	}
+}
+
+func TestAARFThresholdCap(t *testing.T) {
+	a := NewAARF(phy.Rate1Mbps)
+	for probe := 0; probe < 5; probe++ {
+		for a.Rate() == phy.Rate1Mbps {
+			a.OnAck()
+		}
+		a.OnFailure()
+	}
+	if a.threshold > aarfMaxThreshold {
+		t.Errorf("threshold %d exceeds cap", a.threshold)
+	}
+}
+
+func TestAARFNormalFailureResetsThreshold(t *testing.T) {
+	a := NewAARF(phy.Rate11Mbps)
+	a.threshold = 40
+	a.OnFailure()
+	a.OnFailure()
+	if a.Rate() != phy.Rate5_5Mbps {
+		t.Error("two failures must drop")
+	}
+	if a.threshold != arfRaiseThreshold {
+		t.Errorf("threshold = %d, want reset to %d", a.threshold, arfRaiseThreshold)
+	}
+	if NewAARF(phy.Rate(0)).Rate() != phy.Rate11Mbps {
+		t.Error("invalid start must default")
+	}
+}
+
+func TestSNRThresholdPicksFastestViableRate(t *testing.T) {
+	s := NewSNRThreshold()
+	if s.Name() != "snr" {
+		t.Error("name")
+	}
+	// Very high SNR → 11 Mbps regardless of size.
+	if got := s.RateFor(1500, 40); got != phy.Rate11Mbps {
+		t.Errorf("40 dB: %v", got)
+	}
+	// Very low SNR → 1 Mbps.
+	if got := s.RateFor(1500, -5); got != phy.Rate1Mbps {
+		t.Errorf("-5 dB: %v", got)
+	}
+	// Rate choice is monotone in SNR.
+	prev := phy.Rate1Mbps
+	for snr := -5.0; snr <= 40; snr += 0.5 {
+		r := s.RateFor(1000, snr)
+		if ri, _ := r.Index(); ri < func() int { pi, _ := prev.Index(); return pi }() {
+			t.Fatalf("rate dropped from %v to %v as SNR rose to %v", prev, r, snr)
+		}
+		prev = r
+	}
+	// ACK feedback is ignored.
+	before := s.RateFor(1000, 20)
+	for i := 0; i < 10; i++ {
+		s.OnFailure()
+	}
+	if s.RateFor(1000, 20) != before {
+		t.Error("SNR adapter must ignore failures")
+	}
+	s.OnAck() // no-op, must not panic
+}
+
+func TestFixed(t *testing.T) {
+	f := Fixed{R: phy.Rate5_5Mbps}
+	if f.RateFor(9999, -100) != phy.Rate5_5Mbps {
+		t.Error("fixed must always return its rate")
+	}
+	f.OnAck()
+	f.OnFailure()
+	if f.Name() != "fixed-5.5 Mbps" {
+		t.Errorf("name = %q", f.Name())
+	}
+}
+
+func TestFactories(t *testing.T) {
+	cases := []struct {
+		f    Factory
+		name string
+	}{
+		{NewARFFactory(), "arf"},
+		{NewAARFFactory(), "aarf"},
+		{NewSNRFactory(), "snr"},
+		{NewFixedFactory(phy.Rate11Mbps), "fixed-11 Mbps"},
+	}
+	for _, c := range cases {
+		a := c.f()
+		if a.Name() != c.name {
+			t.Errorf("factory produced %q, want %q", a.Name(), c.name)
+		}
+	}
+	// Factories must produce independent adapters.
+	f := NewARFFactory()
+	a1, a2 := f(), f()
+	a1.OnFailure()
+	a1.OnFailure()
+	if a2.(*ARF).Rate() != phy.Rate11Mbps {
+		t.Error("adapters share state")
+	}
+}
+
+// TestARFCongestionCollapse reproduces in miniature the paper's core
+// claim: under collision-dominated loss (loss independent of rate),
+// ARF spends most attempts at 1 or 11 Mbps and rarely at 2/5.5 —
+// the bimodal usage of Figure 8/9 — because every pair of collisions
+// knocks the rate down and every lucky streak walks it back up through
+// the middle rates quickly.
+func TestARFCongestionCollapse(t *testing.T) {
+	a := NewARF(phy.Rate11Mbps)
+	counts := map[phy.Rate]int{}
+	// Deterministic collision pattern: ~40% loss, independent of rate.
+	seq := 0
+	for i := 0; i < 10000; i++ {
+		r := a.RateFor(1000, 25)
+		counts[r]++
+		seq = (seq*1103515245 + 12345) & 0x7fffffff
+		if seq%100 < 40 {
+			a.OnFailure()
+		} else {
+			a.OnAck()
+		}
+	}
+	mid := counts[phy.Rate2Mbps] + counts[phy.Rate5_5Mbps]
+	edge := counts[phy.Rate1Mbps] + counts[phy.Rate11Mbps]
+	if mid >= edge {
+		t.Errorf("expected bimodal rate usage, got middle=%d edge=%d (%v)", mid, edge, counts)
+	}
+}
+
+func TestMixedFactoryPopulation(t *testing.T) {
+	f := NewMixedFactory()
+	counts := map[string]int{}
+	for i := 0; i < 100; i++ {
+		counts[f().Name()]++
+	}
+	if counts["arf"] != 25 || counts["aarf"] != 25 || counts["snr"] != 50 {
+		t.Errorf("population = %v", counts)
+	}
+}

@@ -1,0 +1,193 @@
+// Package report renders analysis results as aligned text tables,
+// ASCII sparkline series, and CSV — the output layer of the cmd tools
+// that regenerate the paper's tables and figures.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a simple column-aligned text table.
+type Table struct {
+	title   string
+	headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{title: title, headers: headers}
+}
+
+// AddRow appends a row; cells are formatted with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = trimFloat(v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// trimFloat renders a float with up to 3 decimals, no trailing zeros.
+func trimFloat(v float64) string {
+	s := fmt.Sprintf("%.3f", v)
+	s = strings.TrimRight(s, "0")
+	return strings.TrimRight(s, ".")
+}
+
+// WriteTo renders the table.
+func (t *Table) WriteTo(w io.Writer) (int64, error) {
+	widths := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.title != "" {
+		fmt.Fprintf(&b, "%s\n", t.title)
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.headers)
+	sep := make([]string, len(t.headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	n, err := io.WriteString(w, b.String())
+	return int64(n), err
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	t.WriteTo(&b)
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values (headers first).
+// Cells containing commas or quotes are quoted.
+func (t *Table) CSV(w io.Writer) error {
+	writeLine := func(cells []string) error {
+		esc := make([]string, len(cells))
+		for i, c := range cells {
+			if strings.ContainsAny(c, ",\"\n") {
+				c = "\"" + strings.ReplaceAll(c, "\"", "\"\"") + "\""
+			}
+			esc[i] = c
+		}
+		_, err := fmt.Fprintln(w, strings.Join(esc, ","))
+		return err
+	}
+	if err := writeLine(t.headers); err != nil {
+		return err
+	}
+	for _, r := range t.rows {
+		if err := writeLine(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Rows returns the number of data rows.
+func (t *Table) Rows() int { return len(t.rows) }
+
+// Sparkline renders values as a one-line ASCII intensity plot using
+// the given width; values are rescaled to max.
+func Sparkline(values []float64, width int) string {
+	if len(values) == 0 || width <= 0 {
+		return ""
+	}
+	ramp := []byte(" .:-=+*#%@")
+	max := values[0]
+	for _, v := range values {
+		if v > max {
+			max = v
+		}
+	}
+	out := make([]byte, width)
+	for i := range out {
+		// Average the bucket of values mapping to this column.
+		lo := i * len(values) / width
+		hi := (i + 1) * len(values) / width
+		if hi <= lo {
+			hi = lo + 1
+		}
+		sum := 0.0
+		for _, v := range values[lo:min(hi, len(values))] {
+			sum += v
+		}
+		avg := sum / float64(hi-lo)
+		idx := 0
+		if max > 0 {
+			idx = int(avg / max * float64(len(ramp)-1))
+		}
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(ramp) {
+			idx = len(ramp) - 1
+		}
+		out[i] = ramp[idx]
+	}
+	return string(out)
+}
+
+// Histogram renders labeled counts as horizontal bars scaled to
+// maxWidth characters.
+func Histogram(w io.Writer, labels []string, counts []int64, maxWidth int) {
+	if maxWidth <= 0 {
+		maxWidth = 50
+	}
+	var peak int64 = 1
+	for _, c := range counts {
+		if c > peak {
+			peak = c
+		}
+	}
+	labelW := 0
+	for _, l := range labels {
+		if len(l) > labelW {
+			labelW = len(l)
+		}
+	}
+	for i, c := range counts {
+		label := ""
+		if i < len(labels) {
+			label = labels[i]
+		}
+		bar := strings.Repeat("#", int(c*int64(maxWidth)/peak))
+		fmt.Fprintf(w, "%-*s %6d %s\n", labelW, label, c, bar)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,160 @@
+package sim
+
+import (
+	"wlan80211/internal/phy"
+)
+
+// Controller approximates the Airespace WLAN controller features the
+// paper describes (Sec 4.1): dynamic channel assignment and client
+// load balancing across the orthogonal channels 1, 6, 11. The real
+// algorithms are proprietary; this threshold controller reproduces the
+// observable behaviour the paper relied on — traffic spread fairly
+// evenly over the three channels, with APs occasionally switching.
+type Controller struct {
+	net *Network
+	aps []*Node
+	// Interval between evaluations.
+	Interval phy.Micros
+	// ImbalanceRatio triggers a channel switch when the busiest
+	// channel carries more than this multiple of the least busy.
+	ImbalanceRatio float64
+	// MaxPerAP triggers station rebalancing toward less-loaded
+	// co-located APs.
+	MaxPerAP int
+
+	lastDataSent map[*Node]int64
+	stopped      bool
+}
+
+// NewController creates (but does not start) a controller over the
+// given APs.
+func (n *Network) NewController(aps []*Node) *Controller {
+	return &Controller{
+		net:            n,
+		aps:            aps,
+		Interval:       5 * phy.MicrosPerSecond,
+		ImbalanceRatio: 2.0,
+		MaxPerAP:       80,
+		lastDataSent:   make(map[*Node]int64),
+	}
+}
+
+// Start schedules periodic evaluations.
+func (c *Controller) Start() {
+	var tick func()
+	tick = func() {
+		if c.stopped {
+			return
+		}
+		c.evaluate()
+		c.net.q.After(c.Interval, tick)
+	}
+	c.net.q.After(c.Interval, tick)
+}
+
+// Stop halts future evaluations.
+func (c *Controller) Stop() { c.stopped = true }
+
+// evaluate performs one round of channel balancing followed by client
+// load balancing.
+func (c *Controller) evaluate() {
+	c.balanceChannels()
+	c.balanceClients()
+}
+
+// channelLoad sums recent data transmissions per channel.
+func (c *Controller) channelLoad() map[phy.Channel]int64 {
+	load := make(map[phy.Channel]int64)
+	for _, ap := range c.aps {
+		delta := ap.Sent - c.lastDataSent[ap]
+		c.lastDataSent[ap] = ap.Sent
+		load[ap.Channel] += delta
+		for _, st := range c.net.nodes {
+			if st.AP == ap && st.associated {
+				load[ap.Channel] += st.Sent // cumulative; coarse but monotone
+			}
+		}
+	}
+	return load
+}
+
+// balanceChannels moves the busiest channel's least-loaded AP to the
+// least busy channel when imbalance exceeds the ratio.
+func (c *Controller) balanceChannels() {
+	load := c.channelLoad()
+	var maxCh, minCh phy.Channel
+	var maxLoad, minLoad int64 = -1, 1 << 62
+	for _, ch := range phy.OrthogonalChannels {
+		l := load[ch]
+		if l > maxLoad {
+			maxLoad, maxCh = l, ch
+		}
+		if l < minLoad {
+			minLoad, minCh = l, ch
+		}
+	}
+	if maxCh == minCh || maxLoad == 0 {
+		return
+	}
+	if float64(maxLoad) < c.ImbalanceRatio*float64(minLoad+1) {
+		return
+	}
+	// Find an AP on the busy channel with the fewest clients and move
+	// it (and its clients) to the quiet channel.
+	var victim *Node
+	for _, ap := range c.aps {
+		if ap.Channel != maxCh {
+			continue
+		}
+		if victim == nil || ap.assocCount < victim.assocCount {
+			victim = ap
+		}
+	}
+	if victim == nil {
+		return
+	}
+	c.switchAPChannel(victim, minCh)
+}
+
+// switchAPChannel retunes an AP and drags its associated stations
+// along (real clients follow the AP's channel announcement).
+func (c *Controller) switchAPChannel(ap *Node, ch phy.Channel) {
+	if ap.Channel == ch {
+		return
+	}
+	ap.moveToChannel(ch)
+	for _, st := range c.net.nodes {
+		if st.AP == ap && st.associated {
+			st.moveToChannel(ch)
+		}
+	}
+	c.net.Stats.ChannelSwitch++
+}
+
+// balanceClients moves stations from over-subscribed APs to the
+// co-located AP with the fewest clients.
+func (c *Controller) balanceClients() {
+	var spare *Node
+	for _, ap := range c.aps {
+		if spare == nil || ap.assocCount < spare.assocCount {
+			spare = ap
+		}
+	}
+	if spare == nil {
+		return
+	}
+	for _, ap := range c.aps {
+		if ap == spare || ap.assocCount <= c.MaxPerAP {
+			continue
+		}
+		// Move stations until under the limit.
+		for _, st := range c.net.nodes {
+			if ap.assocCount <= c.MaxPerAP {
+				break
+			}
+			if st.AP == ap && st.associated {
+				c.net.Reassociate(st, spare)
+			}
+		}
+	}
+}

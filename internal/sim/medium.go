@@ -1,0 +1,245 @@
+package sim
+
+import (
+	"wlan80211/internal/dot11"
+	"wlan80211/internal/phy"
+)
+
+// medium models one radio channel: active transmissions, carrier-sense
+// notification to attached nodes, and frame delivery with collision,
+// capture, and frame-error effects. Propagation delay is neglected
+// (sub-microsecond at conference-hall scale).
+type medium struct {
+	net     *Network
+	channel phy.Channel
+	nodes   []*Node
+	active  []*transmission
+}
+
+// transmission is one in-flight frame on the medium.
+type transmission struct {
+	from    *Node
+	frame   []byte // encoded MAC frame without FCS
+	parsed  dot11.Frame
+	rate    phy.Rate
+	wireLen int
+	start   phy.Micros
+	end     phy.Micros
+	// overlapped lists transmissions whose airtime intersected this
+	// one; collision decisions are made per receiver at delivery.
+	overlapped []*transmission
+}
+
+func newMedium(n *Network, c phy.Channel) *medium {
+	return &medium{net: n, channel: c}
+}
+
+// attach registers a node with the medium.
+func (m *medium) attach(n *Node) {
+	m.nodes = append(m.nodes, n)
+	n.medium = m
+}
+
+// detach removes a node (used when an AP switches channels).
+func (m *medium) detach(n *Node) {
+	for i, o := range m.nodes {
+		if o == n {
+			m.nodes = append(m.nodes[:i], m.nodes[i+1:]...)
+			break
+		}
+	}
+	if n.medium == m {
+		n.medium = nil
+	}
+}
+
+// busy reports whether any transmission (other than n's own) is
+// currently sensed by node n.
+func (m *medium) busy(n *Node) bool {
+	for _, tx := range m.active {
+		if tx.from == n {
+			continue
+		}
+		if m.sensedBy(n, tx) {
+			return true
+		}
+	}
+	return false
+}
+
+// sensedBy reports whether node n's carrier sense detects tx. The
+// deterministic (unshadowed) path loss decides sensing, so the
+// hidden-terminal population is stable across a run; the relation is
+// memoized per (transmitter, listener) pair.
+func (m *medium) sensedBy(n *Node, tx *transmission) bool {
+	key := uint64(tx.from.ID)<<32 | uint64(uint32(n.ID))
+	if v, ok := m.net.senseCache[key]; ok {
+		return v
+	}
+	rx := m.net.cfg.Env.RxPowerDBm(tx.from.TxPower, tx.from.Pos.Distance(n.Pos), nil)
+	v := m.net.cfg.Env.Senses(rx)
+	m.net.senseCache[key] = v
+	return v
+}
+
+// transmit puts a frame on the air from node n. It returns the
+// transmission end time. DCF rules (waiting for idle, backoff) are the
+// caller's responsibility; SIFS responses call this directly.
+func (m *medium) transmit(n *Node, f dot11.Frame, r phy.Rate) phy.Micros {
+	now := m.net.q.Now()
+	wire := f.AppendTo(nil)
+	wireLen := f.WireLen()
+	tx := &transmission{
+		from:    n,
+		frame:   wire,
+		parsed:  f,
+		rate:    r,
+		wireLen: wireLen,
+		start:   now,
+		end:     now + phy.Airtime(wireLen, r),
+	}
+	// Mark mutual overlap with everything already on the air.
+	for _, o := range m.active {
+		o.overlapped = append(o.overlapped, tx)
+		tx.overlapped = append(tx.overlapped, o)
+	}
+	m.active = append(m.active, tx)
+
+	// Carrier-sense notification: nodes that sense this transmitter
+	// see the medium go busy.
+	for _, o := range m.nodes {
+		if o == n {
+			continue
+		}
+		if m.sensedBy(o, tx) {
+			o.mediumBusyDelta(+1)
+		}
+	}
+	m.net.q.At(tx.end, func() { m.complete(tx) })
+	return tx.end
+}
+
+// complete removes tx from the air, notifies carrier sense, delivers
+// the frame to potential receivers, and feeds the observation taps.
+func (m *medium) complete(tx *transmission) {
+	for i, o := range m.active {
+		if o == tx {
+			m.active = append(m.active[:i], m.active[i+1:]...)
+			break
+		}
+	}
+	for _, o := range m.nodes {
+		if o == tx.from {
+			continue
+		}
+		if m.sensedBy(o, tx) {
+			o.mediumBusyDelta(-1)
+		}
+	}
+
+	// Deliver to each node that could have heard the frame.
+	for _, o := range m.nodes {
+		if o == tx.from {
+			continue
+		}
+		snr, ok := m.deliverable(o, tx)
+		if !ok {
+			continue
+		}
+		o.receive(tx, snr)
+	}
+
+	// Feed taps.
+	if len(m.net.taps) > 0 {
+		obs := TxObservation{
+			Time:       tx.start,
+			End:        tx.end,
+			Channel:    m.channel,
+			Rate:       tx.rate,
+			Frame:      tx.frame,
+			WireLen:    tx.wireLen,
+			FromPos:    tx.from.Pos,
+			TxPowerDBm: tx.from.TxPower,
+		}
+		for _, o := range tx.overlapped {
+			obs.Overlapped = append(obs.Overlapped, TxRef{FromPos: o.from.Pos, TxPowerDBm: o.from.TxPower})
+		}
+		for _, t := range m.net.taps {
+			t.ObserveTransmission(obs)
+		}
+	}
+	tx.from.transmissionDone(tx)
+}
+
+// deliverable decides whether receiver o successfully decodes tx and
+// returns the effective SNR. Three loss mechanisms apply, the same
+// three the paper lists for unrecorded frames (Sec 4.4):
+//
+//  1. Low signal: the frame arrives below the noise floor margin.
+//  2. Collision: an overlapping transmission's power at o brings the
+//     SINR under the capture threshold.
+//  3. Residual bit errors: a Bernoulli draw from the SNR/rate FER.
+func (m *medium) deliverable(o *Node, tx *transmission) (snrDB float64, ok bool) {
+	env := m.net.cfg.Env
+	rxPower := env.RxPowerDBm(tx.from.TxPower, tx.from.Pos.Distance(o.Pos), m.net.rng)
+	snr := env.SNRdB(rxPower)
+	if snr <= 0 {
+		return snr, false
+	}
+	// Sum interference from overlapping transmissions at o. A frame
+	// survives overlap only if its SINR clears the rate-dependent
+	// capture threshold: slower modulations tolerate more interference
+	// (the resilience that makes rate fallback attractive, Sec 3).
+	if len(tx.overlapped) > 0 {
+		interfMW := 0.0
+		for _, it := range tx.overlapped {
+			if it.from == o {
+				continue // a node's own transmission deafens it entirely:
+				// handled below.
+			}
+			p := env.RxPowerDBm(it.from.TxPower, it.from.Pos.Distance(o.Pos), nil)
+			interfMW += dbmToMW(p)
+		}
+		if interfMW > 0 {
+			sinr := rxPower - mwToDBm(interfMW+dbmToMW(env.NoiseFloorDBm))
+			if sinr < CaptureThresholdFor(tx.rate, m.net.cfg.CaptureThresholdDB) {
+				m.net.Stats.Collisions++
+				return snr, false
+			}
+		}
+	}
+	// Half-duplex: a node transmitting during any part of tx cannot
+	// receive it.
+	for _, it := range tx.overlapped {
+		if it.from == o {
+			return snr, false
+		}
+	}
+	// Residual bit errors at the noise-only SNR (a captured frame is
+	// decodable by construction; thermal noise still applies).
+	fer := phy.FER(snr, tx.wireLen, tx.rate)
+	if m.net.rng.Float64() < fer {
+		return snr, false
+	}
+	return snr, true
+}
+
+// CaptureThresholdFor scales the base capture threshold by modulation
+// robustness: 1 Mbps DBPSK captures at 40% of the base SINR
+// requirement, 11 Mbps CCK needs the full base.
+func CaptureThresholdFor(r phy.Rate, baseDB float64) float64 {
+	switch r {
+	case phy.Rate1Mbps:
+		return baseDB * 0.4
+	case phy.Rate2Mbps:
+		return baseDB * 0.6
+	case phy.Rate5_5Mbps:
+		return baseDB * 0.8
+	default:
+		return baseDB
+	}
+}
+
+func dbmToMW(dbm float64) float64 { return pow10(dbm / 10) }
+
+func mwToDBm(mw float64) float64 { return 10 * log10(mw) }

@@ -1,0 +1,499 @@
+package sim
+
+import (
+	"math"
+
+	"wlan80211/internal/dot11"
+	"wlan80211/internal/eventq"
+	"wlan80211/internal/phy"
+	"wlan80211/internal/rate"
+)
+
+func pow10(x float64) float64 { return math.Pow(10, x) }
+func log10(x float64) float64 { return math.Log10(x) }
+
+// frameKind classifies queued transmissions.
+type frameKind int
+
+const (
+	frameData frameKind = iota
+	frameBeacon
+	frameMgmt
+)
+
+// queuedFrame is one MSDU (or management frame) awaiting DCF access.
+type queuedFrame struct {
+	kind frameKind
+	// data fields
+	to       dot11.Addr
+	size     int // MAC body bytes
+	useRTS   bool
+	enqueued phy.Micros
+	seq      uint16
+	retries  int
+	// mgmt/beacon payload
+	mgmt *dot11.Management
+}
+
+// wireLen returns the over-the-air frame length including FCS.
+func (f *queuedFrame) wireLen() int {
+	if f.mgmt != nil {
+		return f.mgmt.WireLen()
+	}
+	return dot11.DataHeaderLen + f.size + 4
+}
+
+// Node is a station or access point.
+type Node struct {
+	net     *Network
+	medium  *medium
+	ID      int
+	Name    string
+	Addr    dot11.Addr
+	Pos     Position
+	Channel phy.Channel
+	TxPower float64
+	IsAP    bool
+	// UseRTS makes the node protect unicast data with RTS/CTS — the
+	// minority behaviour the paper observed (Sec 6.1).
+	UseRTS bool
+	// AP is the node's access point (nil for APs themselves).
+	AP *Node
+
+	// adapter drives rate selection for stations (single peer: the
+	// AP). APs adapt per destination via adapterFactory/adapters —
+	// one client's collisions must not drag down another's downlink.
+	adapter        rate.Adapter
+	adapterFactory rate.Factory
+	adapters       map[dot11.Addr]rate.Adapter
+	associated     bool
+	assocCount     int // for APs: number of associated stations
+
+	// DCF state.
+	queue        []queuedFrame
+	seq          uint16
+	cw           int
+	backoff      int // remaining backoff slots
+	busyCount    int // number of sensed in-flight transmissions
+	navUntil     phy.Micros
+	idleSince    phy.Micros // when busyCount last reached 0
+	transmitting bool
+
+	countdown      *eventq.Event
+	countdownStart phy.Micros // when the current DIFS+backoff wait began
+
+	awaiting     awaitKind
+	awaitTimeout *eventq.Event
+
+	// Per-node ground-truth counters.
+	Sent    int64 // data attempts
+	Acked   int64 // acknowledged data frames
+	Dropped int64 // data frames dropped at retry limit
+}
+
+type awaitKind int
+
+const (
+	awaitNone awaitKind = iota
+	awaitCTS
+	awaitACK
+)
+
+// nextSeq mints the next MAC sequence number.
+func (n *Node) nextSeq() uint16 {
+	n.seq = (n.seq + 1) & 0xfff
+	return n.seq
+}
+
+// associatedNet reports whether the node should be active (APs always;
+// stations only while associated).
+func (n *Node) associatedNet() bool { return n.IsAP || n.associated }
+
+// Adapter returns the node's rate adapter (stations). For APs it
+// returns nil; use AdapterFor.
+func (n *Node) Adapter() rate.Adapter { return n.adapter }
+
+// AdapterFor returns the adapter used toward a destination: the
+// per-destination adapter for APs, the single adapter otherwise.
+func (n *Node) AdapterFor(to dot11.Addr) rate.Adapter {
+	if n.adapterFactory == nil {
+		return n.adapter
+	}
+	a, ok := n.adapters[to]
+	if !ok {
+		a = n.adapterFactory()
+		n.adapters[to] = a
+	}
+	return a
+}
+
+// QueueLen returns the number of frames awaiting transmission.
+func (n *Node) QueueLen() int { return len(n.queue) }
+
+// SendData enqueues a data frame of size body bytes to the given
+// destination. It reports whether the frame was accepted (the queue
+// is bounded; overflowing traffic is dropped like a real NIC ring).
+func (n *Node) SendData(to dot11.Addr, size int) bool {
+	if size < 0 || !n.associatedNet() {
+		return false
+	}
+	if len(n.queue) >= n.net.cfg.QueueLimit {
+		n.net.Stats.QueueDrops++
+		return false
+	}
+	f := queuedFrame{
+		kind:     frameData,
+		to:       to,
+		size:     size,
+		useRTS:   n.UseRTS && !to.IsGroup(),
+		enqueued: n.net.q.Now(),
+		seq:      n.nextSeq(),
+	}
+	n.enqueueFrame(f)
+	return true
+}
+
+// enqueueFrame adds a frame and kicks the access procedure if idle.
+func (n *Node) enqueueFrame(f queuedFrame) {
+	wasEmpty := len(n.queue) == 0
+	n.queue = append(n.queue, f)
+	if wasEmpty && n.awaiting == awaitNone && !n.transmitting {
+		// Fresh access: if the medium has been idle ≥ DIFS the frame
+		// may go immediately (zero backoff), else draw a backoff.
+		n.startAccess(true)
+	}
+}
+
+// startAccess begins (or resumes) the DIFS + backoff countdown for
+// the head-of-queue frame. fresh marks a first attempt, which may
+// transmit without backoff on a long-idle medium.
+func (n *Node) startAccess(fresh bool) {
+	if len(n.queue) == 0 || n.countdown != nil || n.transmitting || n.awaiting != awaitNone {
+		return
+	}
+	now := n.net.q.Now()
+	if fresh {
+		if n.busyCount == 0 && now >= n.navUntil && now-n.idleSince >= phy.DIFS {
+			n.backoff = 0
+		} else {
+			n.backoff = n.net.rng.Intn(n.cw + 1)
+		}
+	}
+	n.resumeCountdown()
+}
+
+// resumeCountdown schedules the transmit event if the medium is idle,
+// or waits for the busy→idle notification otherwise.
+func (n *Node) resumeCountdown() {
+	if n.countdown != nil || len(n.queue) == 0 {
+		return
+	}
+	now := n.net.q.Now()
+	if n.busyCount > 0 {
+		return // mediumBusyDelta(-1) will resume us
+	}
+	start := now
+	if n.navUntil > start {
+		// Virtual carrier sense: wait out the NAV first. The backoff
+		// has not started, so countdownStart points at the NAV end;
+		// a pause during this wait must consume no slots.
+		n.countdownStart = n.navUntil
+		n.countdown = n.net.q.At(n.navUntil, func() {
+			n.countdown = nil
+			n.resumeCountdown()
+		})
+		return
+	}
+	n.countdownStart = start
+	wait := phy.DIFS + phy.Micros(n.backoff)*phy.SlotTime
+	n.countdown = n.net.q.After(wait, func() {
+		n.countdown = nil
+		n.backoff = 0
+		n.transmitHead()
+	})
+}
+
+// pauseCountdown freezes the backoff timer when the medium goes busy,
+// banking fully-elapsed slots (802.11 freezes, not resets, backoff).
+func (n *Node) pauseCountdown() {
+	if n.countdown == nil {
+		return
+	}
+	elapsed := n.net.q.Now() - n.countdownStart - phy.DIFS
+	if elapsed > 0 {
+		consumed := int(elapsed / phy.SlotTime)
+		if consumed > n.backoff {
+			consumed = n.backoff
+		}
+		n.backoff -= consumed
+	}
+	n.countdown.Cancel()
+	n.countdown = nil
+}
+
+// mediumBusyDelta is called by the medium when a sensed transmission
+// starts (+1) or ends (-1).
+func (n *Node) mediumBusyDelta(d int) {
+	was := n.busyCount
+	n.busyCount += d
+	if n.busyCount < 0 {
+		n.busyCount = 0
+	}
+	if was == 0 && n.busyCount > 0 {
+		n.pauseCountdown()
+	}
+	if was > 0 && n.busyCount == 0 {
+		n.idleSince = n.net.q.Now()
+		n.resumeCountdown()
+	}
+}
+
+// transmitHead puts the head-of-queue frame on the air (RTS first if
+// the frame uses RTS/CTS protection).
+func (n *Node) transmitHead() {
+	if len(n.queue) == 0 || n.transmitting {
+		return
+	}
+	f := &n.queue[0]
+	switch f.kind {
+	case frameBeacon, frameMgmt:
+		n.transmitting = true
+		if f.kind == frameBeacon {
+			n.net.Stats.BeaconsSent++
+		}
+		n.medium.transmit(n, f.mgmt, phy.ControlRate)
+		return
+	}
+	if f.useRTS {
+		n.transmitRTS(f)
+		return
+	}
+	n.transmitData(f)
+}
+
+// dataRate queries the adapter with the node's SNR estimate toward the
+// frame's receiver.
+func (n *Node) dataRate(f *queuedFrame) phy.Rate {
+	return n.AdapterFor(f.to).RateFor(f.wireLen(), n.snrTowards(f.to))
+}
+
+// snrTowards estimates the SNR at the receiver using the deterministic
+// path loss (what an SNR-based scheme would learn from ACKs).
+func (n *Node) snrTowards(to dot11.Addr) float64 {
+	peer := n.peerByAddr(to)
+	if peer == nil {
+		return 25 // unknown receiver: assume a healthy link
+	}
+	env := n.net.cfg.Env
+	return env.SNRdB(env.RxPowerDBm(n.TxPower, n.Pos.Distance(peer.Pos), nil))
+}
+
+// peerByAddr resolves an address to a node (nil for broadcast or
+// unknown).
+func (n *Node) peerByAddr(a dot11.Addr) *Node {
+	if a.IsGroup() {
+		return nil
+	}
+	return n.net.byAddr[a]
+}
+
+func (n *Node) transmitRTS(f *queuedFrame) {
+	n.transmitting = true
+	n.net.Stats.RTSSent++
+	r := n.dataRate(f)
+	rts := dot11.NewRTS(f.to, n.Addr, dot11.NAVForRTS(f.wireLen(), r))
+	end := n.medium.transmit(n, rts, phy.ControlRate)
+	// CTS timeout: SIFS + CTS airtime + 2 slots of grace.
+	n.awaiting = awaitCTS
+	n.awaitTimeout = n.net.q.At(end+phy.SIFS+phy.CtsDuration(phy.ControlRate)+2*phy.SlotTime, func() {
+		n.awaitTimeout = nil
+		n.onExchangeFailure()
+	})
+}
+
+func (n *Node) transmitData(f *queuedFrame) {
+	n.transmitting = true
+	n.Sent++
+	n.net.Stats.DataSent++
+	r := n.dataRate(f)
+	bssid := n.Addr
+	if n.AP != nil {
+		bssid = n.AP.Addr
+	}
+	var d *dot11.Data
+	if n.IsAP {
+		d = dot11.NewData(f.to, n.Addr, n.Addr, f.seq, make([]byte, f.size))
+		d.FC.FromDS = true
+	} else {
+		// ToDS: Addr1 = BSSID (the AP receives and relays), Addr2 =
+		// station, Addr3 = final destination.
+		d = dot11.NewData(bssid, n.Addr, f.to, f.seq, make([]byte, f.size))
+		d.FC.ToDS = true
+	}
+	d.FC.Retry = f.retries > 0
+	d.Duration = dot11.NAVForData(d.Addr1, phy.ControlRate)
+	end := n.medium.transmit(n, d, r)
+	if d.Addr1.IsGroup() {
+		// Broadcast: no ACK expected; completion pops the frame.
+		n.awaiting = awaitNone
+		return
+	}
+	n.awaiting = awaitACK
+	n.awaitTimeout = n.net.q.At(end+phy.SIFS+phy.AckDuration(phy.ControlRate)+2*phy.SlotTime, func() {
+		n.awaitTimeout = nil
+		n.onExchangeFailure()
+	})
+}
+
+// transmissionDone is called by the medium when this node's
+// transmission leaves the air.
+func (n *Node) transmissionDone(tx *transmission) {
+	n.transmitting = false
+	switch tx.parsed.(type) {
+	case *dot11.Management, *dot11.Beacon:
+		// Beacons/mgmt are unacknowledged broadcasts: pop and go on.
+		n.popHead()
+		n.startAccess(true)
+	case *dot11.Data:
+		if d := tx.parsed.(*dot11.Data); d.Addr1.IsGroup() {
+			n.popHead()
+			n.startAccess(true)
+		}
+		// Unicast data: wait for ACK/timeout.
+	case *dot11.ACK, *dot11.CTS:
+		// SIFS responses carry no queue state.
+	case *dot11.RTS:
+		// Waiting for CTS.
+	}
+}
+
+// popHead removes the head-of-queue frame and resets retry state.
+func (n *Node) popHead() {
+	if len(n.queue) > 0 {
+		n.queue = n.queue[1:]
+	}
+	n.cw = phy.CWMin
+}
+
+// onExchangeFailure handles a missing CTS or ACK: binary exponential
+// backoff, retry, or drop at the retry limit.
+func (n *Node) onExchangeFailure() {
+	n.awaiting = awaitNone
+	if len(n.queue) == 0 {
+		return
+	}
+	f := &n.queue[0]
+	f.retries++
+	if f.kind == frameData {
+		n.AdapterFor(f.to).OnFailure()
+	}
+	limit := n.net.cfg.ShortRetryLimit
+	if f.useRTS {
+		limit = n.net.cfg.LongRetryLimit
+	}
+	if f.retries > limit {
+		n.Dropped++
+		n.net.Stats.DataDropped++
+		n.popHead()
+		n.startAccess(true)
+		return
+	}
+	// Double the contention window and redraw backoff.
+	n.cw = n.cw*2 + 1
+	if n.cw > n.net.cfg.CWMax {
+		n.cw = n.net.cfg.CWMax
+	}
+	n.backoff = n.net.rng.Intn(n.cw + 1)
+	n.resumeCountdown()
+}
+
+// receive handles a successfully decoded frame at this node.
+func (n *Node) receive(tx *transmission, snrDB float64) {
+	now := n.net.q.Now()
+	switch f := tx.parsed.(type) {
+	case *dot11.RTS:
+		if f.RA == n.Addr {
+			if now < n.navUntil {
+				return // NAV busy: stay silent, sender times out
+			}
+			cts := dot11.NewCTS(f.TA, dot11.NAVForCTS(f.Duration))
+			n.net.Stats.CTSSent++
+			n.net.q.After(phy.SIFS, func() { n.medium.transmit(n, cts, phy.ControlRate) })
+		} else {
+			n.updateNAV(now, f.Duration)
+		}
+	case *dot11.CTS:
+		if f.RA == n.Addr && n.awaiting == awaitCTS {
+			n.clearAwait()
+			if len(n.queue) > 0 {
+				head := &n.queue[0]
+				n.net.q.After(phy.SIFS, func() { n.transmitData(head) })
+			}
+		} else if f.RA != n.Addr {
+			n.updateNAV(now, f.Duration)
+		}
+	case *dot11.ACK:
+		if f.RA == n.Addr && n.awaiting == awaitACK {
+			n.clearAwait()
+			n.Acked++
+			n.net.Stats.DataAcked++
+			if len(n.queue) > 0 {
+				n.AdapterFor(n.queue[0].to).OnAck()
+			}
+			n.popHead()
+			n.startAccess(true)
+		}
+	case *dot11.Data:
+		if f.Addr1 == n.Addr {
+			ack := dot11.NewACK(f.Addr2)
+			n.net.Stats.ACKSent++
+			n.net.q.After(phy.SIFS, func() { n.medium.transmit(n, ack, phy.ControlRate) })
+		} else if !f.Addr1.IsGroup() {
+			n.updateNAV(now, f.Duration)
+		}
+	case *dot11.Beacon, *dot11.Management:
+		// Beacons keep stations' TSF in sync; nothing to do here.
+	}
+}
+
+// clearAwait cancels the pending CTS/ACK timeout.
+func (n *Node) clearAwait() {
+	n.awaiting = awaitNone
+	if n.awaitTimeout != nil {
+		n.awaitTimeout.Cancel()
+		n.awaitTimeout = nil
+	}
+}
+
+// updateNAV extends the virtual carrier sense from an overheard
+// Duration field.
+func (n *Node) updateNAV(now phy.Micros, duration uint16) {
+	until := now + phy.Micros(duration)
+	if until > n.navUntil {
+		n.navUntil = until
+		// If a countdown is pending it must respect the new NAV.
+		if n.countdown != nil && n.busyCount == 0 {
+			n.pauseCountdownForNAV()
+		}
+	}
+}
+
+// pauseCountdownForNAV reschedules a running countdown behind the NAV.
+func (n *Node) pauseCountdownForNAV() {
+	n.pauseCountdown()
+	n.resumeCountdown()
+}
+
+// moveToChannel detaches the node from its medium and attaches it to
+// the new channel (AP channel switching; stations follow their AP).
+func (n *Node) moveToChannel(c phy.Channel) {
+	if n.Channel == c && n.medium != nil {
+		return
+	}
+	if n.medium != nil {
+		n.medium.detach(n)
+	}
+	n.Channel = c
+	n.busyCount = 0
+	n.net.mediumFor(c).attach(n)
+}

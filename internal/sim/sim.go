@@ -1,0 +1,296 @@
+// Package sim is a discrete-event simulator of IEEE 802.11b
+// infrastructure networks. It models the DCF MAC (CSMA/CA with binary
+// exponential backoff, DIFS/SIFS timing, NAV, optional RTS/CTS,
+// retransmission limits), a physical channel with path loss, capture,
+// collisions and hidden terminals, per-station multirate adaptation,
+// access points with beaconing and association, and application
+// traffic generators.
+//
+// The simulator substitutes for the live IETF62 network the paper
+// measured: it produces the same kind of over-the-air frame sequences
+// (observable through the sniffer taps) that the paper's vicinity
+// sniffing framework recorded. See DESIGN.md for the substitution
+// argument.
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"wlan80211/internal/dot11"
+	"wlan80211/internal/eventq"
+	"wlan80211/internal/phy"
+	"wlan80211/internal/rate"
+)
+
+// Position is a 2-D location in meters.
+type Position struct{ X, Y float64 }
+
+// Distance returns the Euclidean distance between two positions.
+func (p Position) Distance(o Position) float64 {
+	return math.Hypot(p.X-o.X, p.Y-o.Y)
+}
+
+// Config holds the simulator parameters.
+type Config struct {
+	// Seed seeds all randomness; runs are deterministic per seed.
+	Seed int64
+	// Env is the radio environment.
+	Env phy.Environment
+	// CWMax bounds the contention window. The paper reports MaxBO
+	// growing 31→255 (phy.CWMaxPaper, the default); phy.CWMaxStandard
+	// gives the 802.11 value.
+	CWMax int
+	// ShortRetryLimit bounds attempts for frames below RTSThreshold
+	// (and RTS frames); LongRetryLimit for frames sent with RTS/CTS.
+	ShortRetryLimit int
+	LongRetryLimit  int
+	// CaptureThresholdDB is the SINR above which the strongest of
+	// overlapping frames still decodes (physical-layer capture).
+	CaptureThresholdDB float64
+	// QueueLimit bounds each station's transmit queue.
+	QueueLimit int
+	// DefaultTxPowerDBm is assigned to nodes that don't override it.
+	DefaultTxPowerDBm float64
+}
+
+// DefaultConfig returns the configuration used by the reproduction
+// experiments.
+func DefaultConfig() Config {
+	return Config{
+		Seed:               1,
+		Env:                phy.DefaultEnvironment(),
+		CWMax:              phy.CWMaxPaper,
+		ShortRetryLimit:    7,
+		LongRetryLimit:     4,
+		CaptureThresholdDB: 10,
+		QueueLimit:         50,
+		DefaultTxPowerDBm:  phy.DefaultTxPowerDBm,
+	}
+}
+
+// Tap observes every completed transmission on a channel, with the
+// geometry needed to decide whether a passive observer would have
+// captured it. The sniffer package implements Tap.
+type Tap interface {
+	// ObserveTransmission is called once per completed transmission.
+	ObserveTransmission(obs TxObservation)
+}
+
+// TxObservation is what a Tap sees: the over-the-air facts of one
+// transmission, independent of any receiver.
+type TxObservation struct {
+	// Time is the transmission start time (first bit).
+	Time phy.Micros
+	// End is the transmission end time.
+	End phy.Micros
+	// Channel and Rate of the transmission.
+	Channel phy.Channel
+	Rate    phy.Rate
+	// Frame is the encoded MAC frame without FCS.
+	Frame []byte
+	// WireLen is the over-the-air length including FCS.
+	WireLen int
+	// FromPos / TxPowerDBm locate the transmitter.
+	FromPos    Position
+	TxPowerDBm float64
+	// Overlapped lists concurrent transmissions (potential colliders
+	// at any given observer).
+	Overlapped []TxRef
+}
+
+// TxRef locates an interfering transmitter.
+type TxRef struct {
+	FromPos    Position
+	TxPowerDBm float64
+}
+
+// Network is a simulated 802.11b network.
+type Network struct {
+	cfg    Config
+	rng    *rand.Rand
+	q      eventq.Queue
+	media  map[phy.Channel]*medium
+	nodes  []*Node
+	byAddr map[dot11.Addr]*Node
+	// senseCache memoizes the deterministic pairwise carrier-sense
+	// relation (positions are fixed for a node's lifetime).
+	senseCache map[uint64]bool
+	taps       []Tap
+
+	// Counters for tests and reports.
+	Stats NetStats
+}
+
+// NetStats aggregates ground-truth counters across the run (the
+// analysis package never sees these; they validate its estimators).
+type NetStats struct {
+	DataSent      int64 // data transmission attempts
+	DataAcked     int64 // acknowledged data frames
+	DataDropped   int64 // frames dropped after retry limit
+	RTSSent       int64
+	CTSSent       int64
+	ACKSent       int64
+	BeaconsSent   int64
+	Collisions    int64 // receiver-side overlap losses
+	QueueDrops    int64 // enqueue refused, queue full
+	AssocEvents   int64
+	ChannelSwitch int64
+}
+
+// New creates an empty network.
+func New(cfg Config) *Network {
+	if cfg.CWMax == 0 {
+		cfg = DefaultConfig()
+	}
+	return &Network{
+		cfg:        cfg,
+		rng:        rand.New(rand.NewSource(cfg.Seed)),
+		media:      make(map[phy.Channel]*medium),
+		byAddr:     make(map[dot11.Addr]*Node),
+		senseCache: make(map[uint64]bool),
+	}
+}
+
+// Now returns the current simulation time.
+func (n *Network) Now() phy.Micros { return n.q.Now() }
+
+// Rand exposes the deterministic RNG (used by traffic generators).
+func (n *Network) Rand() *rand.Rand { return n.rng }
+
+// Config returns the network configuration.
+func (n *Network) Config() Config { return n.cfg }
+
+// AddTap registers a transmission observer (e.g. a sniffer).
+func (n *Network) AddTap(t Tap) { n.taps = append(n.taps, t) }
+
+// Nodes returns all nodes in creation order.
+func (n *Network) Nodes() []*Node { return n.nodes }
+
+// mediumFor returns (creating if needed) the medium for a channel.
+func (n *Network) mediumFor(c phy.Channel) *medium {
+	m, ok := n.media[c]
+	if !ok {
+		m = newMedium(n, c)
+		n.media[c] = m
+	}
+	return m
+}
+
+// AddAP creates an access point on the given channel.
+func (n *Network) AddAP(name string, pos Position, ch phy.Channel) *Node {
+	ap := n.newNode(name, pos, ch)
+	ap.IsAP = true
+	// Enterprise APs (the Airespace hardware of Sec 4.1) adapt per
+	// client from observed uplink SNR rather than blind loss-counting;
+	// a per-destination SNR adapter models that.
+	ap.adapterFactory = rate.NewSNRFactory()
+	ap.adapters = make(map[dot11.Addr]rate.Adapter)
+	n.scheduleBeacons(ap)
+	return ap
+}
+
+// AddStation creates a client station associated with ap. The factory
+// supplies its rate-adaptation scheme.
+func (n *Network) AddStation(name string, pos Position, ap *Node, f rate.Factory) *Node {
+	st := n.newNode(name, pos, ap.Channel)
+	st.AP = ap
+	st.adapter = f()
+	st.associated = true
+	ap.assocCount++
+	n.Stats.AssocEvents++
+	return st
+}
+
+func (n *Network) newNode(name string, pos Position, ch phy.Channel) *Node {
+	id := len(n.nodes)
+	node := &Node{
+		net:     n,
+		ID:      id,
+		Name:    name,
+		Addr:    dot11.AddrFromUint64(uint64(id) + 0x100),
+		Pos:     pos,
+		Channel: ch,
+		TxPower: n.cfg.DefaultTxPowerDBm,
+		cw:      phy.CWMin,
+	}
+	n.nodes = append(n.nodes, node)
+	n.byAddr[node.Addr] = node
+	n.mediumFor(ch).attach(node)
+	return node
+}
+
+// scheduleBeacons emits a beacon from ap every beacon interval with a
+// small deterministic phase offset so co-channel APs don't align.
+func (n *Network) scheduleBeacons(ap *Node) {
+	interval := phy.Micros(dot11.BeaconIntervalTU) * 1024
+	offset := phy.Micros(ap.ID%10) * 7 * 1000
+	var emit func()
+	emit = func() {
+		if ap.associatedNet() {
+			b := dot11.NewBeacon(ap.Addr, "ietf62", uint8(ap.Channel), uint64(n.Now()), ap.nextSeq())
+			ap.enqueueFrame(queuedFrame{kind: frameBeacon, mgmt: &b.Management})
+		}
+		n.q.After(interval, emit)
+	}
+	n.q.After(offset, emit)
+}
+
+// Schedule runs fn at absolute simulation time t (clamped to now if in
+// the past). Workload scripts use this for churn and load changes.
+func (n *Network) Schedule(t phy.Micros, fn func()) { n.q.At(t, fn) }
+
+// RunUntil advances simulation time to the deadline.
+func (n *Network) RunUntil(t phy.Micros) { n.q.RunUntil(t) }
+
+// RunFor advances simulation time by d.
+func (n *Network) RunFor(d phy.Micros) { n.q.RunUntil(n.Now() + d) }
+
+// Disassociate removes a station from its AP and stops its traffic.
+func (n *Network) Disassociate(st *Node) {
+	if st.associated && st.AP != nil {
+		st.associated = false
+		st.AP.assocCount--
+		n.Stats.AssocEvents++
+	}
+}
+
+// Reassociate points st at a (possibly different) AP and channel.
+func (n *Network) Reassociate(st *Node, ap *Node) {
+	n.Disassociate(st)
+	st.moveToChannel(ap.Channel)
+	st.AP = ap
+	st.associated = true
+	ap.assocCount++
+	n.Stats.AssocEvents++
+}
+
+// AssociatedCount returns the number of stations currently associated
+// with ap.
+func (n *Network) AssociatedCount(ap *Node) int { return ap.assocCount }
+
+// AssociatedTotal returns the number of associated stations in the
+// whole network (ground truth for Figure 4b).
+func (n *Network) AssociatedTotal() int {
+	total := 0
+	for _, node := range n.nodes {
+		if !node.IsAP && node.associated {
+			total++
+		}
+	}
+	return total
+}
+
+// String summarizes the network.
+func (n *Network) String() string {
+	aps, stas := 0, 0
+	for _, node := range n.nodes {
+		if node.IsAP {
+			aps++
+		} else {
+			stas++
+		}
+	}
+	return fmt.Sprintf("sim.Network{aps: %d, stations: %d, t: %dµs}", aps, stas, n.Now())
+}

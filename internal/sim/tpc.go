@@ -1,0 +1,74 @@
+package sim
+
+// Transmit power control. The Airespace APs regulated transmit power
+// (Sec 4.1), and the paper's conclusion suggests clients "dynamically
+// change the transmit power such that data frames are consistently
+// transmitted at high data rates" (Sec 7). ApplyTPC implements the
+// client-side version: each station's power is set so its
+// deterministic SNR at its AP meets a target, within hardware bounds.
+// Lower transmit power shrinks each cell's interference footprint —
+// and enlarges the hidden-terminal population, the trade-off the
+// TPC ablation bench quantifies.
+
+// TPC power bounds (dBm), typical of 802.11b client hardware.
+const (
+	TPCMinPowerDBm = 0
+	TPCMaxPowerDBm = 20
+)
+
+// ApplyTPC sets every associated station's transmit power to the
+// minimum that achieves targetSNRdB at its AP under the deterministic
+// path loss, clamped to [TPCMinPowerDBm, TPCMaxPowerDBm]. It returns
+// the number of stations adjusted. APs keep their configured power
+// (the controller owns AP power in real deployments).
+func (n *Network) ApplyTPC(targetSNRdB float64) int {
+	adjusted := 0
+	for _, st := range n.nodes {
+		if st.IsAP || !st.associated || st.AP == nil {
+			continue
+		}
+		loss := n.cfg.Env.PathLossDB(st.Pos.Distance(st.AP.Pos))
+		want := n.cfg.Env.NoiseFloorDBm + targetSNRdB + loss
+		if want < TPCMinPowerDBm {
+			want = TPCMinPowerDBm
+		}
+		if want > TPCMaxPowerDBm {
+			want = TPCMaxPowerDBm
+		}
+		if want != st.TxPower {
+			st.TxPower = want
+			adjusted++
+		}
+	}
+	// Pairwise sensing depends on transmit power: invalidate the memo.
+	n.senseCache = make(map[uint64]bool)
+	return adjusted
+}
+
+// MeanTxPower returns the mean station transmit power in dBm (0 if
+// there are no stations), for reports.
+func (n *Network) MeanTxPower() float64 {
+	var sum float64
+	count := 0
+	for _, st := range n.nodes {
+		if st.IsAP {
+			continue
+		}
+		sum += st.TxPower
+		count++
+	}
+	if count == 0 {
+		return 0
+	}
+	return sum / float64(count)
+}
+
+// SNRAtAP returns a station's deterministic SNR at its AP in dB (0 if
+// unassociated), for tests and reports.
+func (n *Network) SNRAtAP(st *Node) float64 {
+	if st.AP == nil {
+		return 0
+	}
+	env := n.cfg.Env
+	return env.SNRdB(env.RxPowerDBm(st.TxPower, st.Pos.Distance(st.AP.Pos), nil))
+}

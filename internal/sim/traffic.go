@@ -1,0 +1,158 @@
+package sim
+
+import (
+	"wlan80211/internal/phy"
+)
+
+// This file generates application traffic. The paper maps its four
+// frame-size classes to application types (Sec 6): small frames to
+// voice/audio and control traffic, medium/large/extra-large to file
+// transfer, SSH, HTTP, and video. Each profile below produces frames
+// in one class, and the Mix type composes them into a population.
+
+// SizeClassBounds are the paper's frame-size class boundaries in
+// bytes (frame sizes, i.e. MAC header + body + FCS).
+const (
+	SmallMax  = 400
+	MediumMax = 800
+	LargeMax  = 1200
+	XLMax     = 1600 // generation cap; the class itself is unbounded
+)
+
+// Profile describes one application's frame generation.
+type Profile struct {
+	// Name for reports ("voice", "web", ...).
+	Name string
+	// MinFrame/MaxFrame bound the generated wire frame size in bytes
+	// (header+body+FCS); bodies are sized to hit this range.
+	MinFrame, MaxFrame int
+	// MeanIntervalMicros is the mean inter-frame gap (exponential).
+	MeanIntervalMicros phy.Micros
+	// Downlink is the fraction of frames sent AP→station (the rest
+	// are station→AP), mirroring asymmetric web/bulk traffic.
+	Downlink float64
+}
+
+// The application profiles used by the IETF62 scenarios. Rates are
+// per-station means chosen so a few hundred stations saturate a
+// channel, as at the meeting.
+var (
+	// ProfileVoice generates small frames at a steady clip (VoIP-ish).
+	ProfileVoice = Profile{Name: "voice", MinFrame: 90, MaxFrame: 240, MeanIntervalMicros: 60_000, Downlink: 0.5}
+	// ProfileInteractive generates medium frames (SSH, chat, email).
+	ProfileInteractive = Profile{Name: "interactive", MinFrame: 420, MaxFrame: 780, MeanIntervalMicros: 180_000, Downlink: 0.45}
+	// ProfileWeb generates large frames (HTTP responses).
+	ProfileWeb = Profile{Name: "web", MinFrame: 850, MaxFrame: 1180, MeanIntervalMicros: 220_000, Downlink: 0.75}
+	// ProfileBulk generates extra-large frames (file transfer, video).
+	ProfileBulk = Profile{Name: "bulk", MinFrame: 1260, MaxFrame: 1540, MeanIntervalMicros: 90_000, Downlink: 0.55}
+)
+
+// DefaultMix approximates conference traffic: mostly web/interactive,
+// a bulk-transfer minority, some voice-like small-frame apps.
+func DefaultMix() []WeightedProfile {
+	return []WeightedProfile{
+		{ProfileVoice, 0.20},
+		{ProfileInteractive, 0.30},
+		{ProfileWeb, 0.30},
+		{ProfileBulk, 0.20},
+	}
+}
+
+// WeightedProfile pairs a profile with its population share.
+type WeightedProfile struct {
+	Profile Profile
+	Weight  float64
+}
+
+// Generator drives one station's application traffic.
+type Generator struct {
+	net     *Network
+	station *Node
+	profile Profile
+	// LoadScale multiplies the frame arrival rate (1.0 = profile
+	// rate); experiments sweep this to move the network through the
+	// paper's utilization range.
+	loadScale float64
+	stopped   bool
+}
+
+// StartTraffic attaches a traffic generator with the given profile to
+// a station. loadScale multiplies the arrival rate.
+func (n *Network) StartTraffic(st *Node, p Profile, loadScale float64) *Generator {
+	if loadScale <= 0 {
+		loadScale = 1
+	}
+	g := &Generator{net: n, station: st, profile: p, loadScale: loadScale}
+	g.scheduleNext()
+	return g
+}
+
+// PickProfile selects a profile from a weighted mix using the
+// network's RNG.
+func (n *Network) PickProfile(mix []WeightedProfile) Profile {
+	total := 0.0
+	for _, w := range mix {
+		total += w.Weight
+	}
+	x := n.rng.Float64() * total
+	for _, w := range mix {
+		x -= w.Weight
+		if x <= 0 {
+			return w.Profile
+		}
+	}
+	return mix[len(mix)-1].Profile
+}
+
+// Stop halts the generator after any already-scheduled arrival.
+func (g *Generator) Stop() { g.stopped = true }
+
+func (g *Generator) scheduleNext() {
+	if g.stopped {
+		return
+	}
+	mean := float64(g.profile.MeanIntervalMicros) / g.loadScale
+	gap := phy.Micros(g.net.rng.ExpFloat64() * mean)
+	if gap < 100 {
+		gap = 100
+	}
+	g.net.q.After(gap, func() {
+		g.emit()
+		g.scheduleNext()
+	})
+}
+
+// emit queues one application frame in the chosen direction.
+func (g *Generator) emit() {
+	if g.stopped || !g.station.associated || g.station.AP == nil {
+		return
+	}
+	wire := g.profile.MinFrame
+	if g.profile.MaxFrame > g.profile.MinFrame {
+		wire += g.net.rng.Intn(g.profile.MaxFrame - g.profile.MinFrame + 1)
+	}
+	body := wire - 28 // MAC header (24) + FCS (4)
+	if body < 0 {
+		body = 0
+	}
+	if g.net.rng.Float64() < g.profile.Downlink {
+		g.station.AP.SendData(g.station.Addr, body)
+	} else {
+		g.station.SendData(g.station.AP.Addr, body)
+	}
+}
+
+// SizeClass returns the paper's size-class letter for a wire frame
+// length: S, M, L, or XL (Sec 6).
+func SizeClass(wireLen int) string {
+	switch {
+	case wireLen <= SmallMax:
+		return "S"
+	case wireLen <= MediumMax:
+		return "M"
+	case wireLen <= LargeMax:
+		return "L"
+	default:
+		return "XL"
+	}
+}

@@ -1,0 +1,6 @@
+package sniffer
+
+import "math"
+
+func pow10(x float64) float64 { return math.Pow(10, x) }
+func log10(x float64) float64 { return math.Log10(x) }

@@ -1,0 +1,231 @@
+// Package stats provides the streaming statistics used throughout the
+// analysis: Welford mean/variance accumulators, integer histograms,
+// percentile estimation over collected samples, and the
+// "average-by-utilization-percentage" aggregation that underlies every
+// scatter figure in the paper (Figures 6–15 all plot a per-second
+// quantity averaged over all seconds at each utilization percentage).
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Welford accumulates mean and variance in one pass.
+type Welford struct {
+	n    int64
+	mean float64
+	m2   float64
+}
+
+// Add incorporates a sample.
+func (w *Welford) Add(x float64) {
+	w.n++
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// N returns the sample count.
+func (w *Welford) N() int64 { return w.n }
+
+// Mean returns the sample mean (0 for no samples).
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Variance returns the unbiased sample variance (0 for n < 2).
+func (w *Welford) Variance() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// Stddev returns the sample standard deviation.
+func (w *Welford) Stddev() float64 { return math.Sqrt(w.Variance()) }
+
+// Merge folds another accumulator into w (parallel Welford).
+func (w *Welford) Merge(o Welford) {
+	if o.n == 0 {
+		return
+	}
+	if w.n == 0 {
+		*w = o
+		return
+	}
+	n := w.n + o.n
+	d := o.mean - w.mean
+	w.m2 += o.m2 + d*d*float64(w.n)*float64(o.n)/float64(n)
+	w.mean += d * float64(o.n) / float64(n)
+	w.n = n
+}
+
+// Histogram counts integer-valued observations in [0, len(bins)).
+// Out-of-range observations are clamped into the edge bins, so the
+// total count is preserved — the paper's Figure 5(c) utilization
+// histogram uses 101 bins for 0..100%.
+type Histogram struct {
+	bins []int64
+	n    int64
+}
+
+// NewHistogram creates a histogram with n bins.
+func NewHistogram(n int) *Histogram { return &Histogram{bins: make([]int64, n)} }
+
+// Add counts one observation of value v.
+func (h *Histogram) Add(v int) {
+	if v < 0 {
+		v = 0
+	}
+	if v >= len(h.bins) {
+		v = len(h.bins) - 1
+	}
+	h.bins[v]++
+	h.n++
+}
+
+// Count returns the count in bin v (0 if out of range).
+func (h *Histogram) Count(v int) int64 {
+	if v < 0 || v >= len(h.bins) {
+		return 0
+	}
+	return h.bins[v]
+}
+
+// N returns the total number of observations.
+func (h *Histogram) N() int64 { return h.n }
+
+// Bins returns the underlying counts (not a copy).
+func (h *Histogram) Bins() []int64 { return h.bins }
+
+// Mode returns the bin with the highest count (ties go to the lower
+// bin) and its count.
+func (h *Histogram) Mode() (int, int64) {
+	best, bestN := 0, int64(-1)
+	for i, c := range h.bins {
+		if c > bestN {
+			best, bestN = i, c
+		}
+	}
+	return best, bestN
+}
+
+// CumulativeFraction returns the fraction of observations at or below
+// bin v.
+func (h *Histogram) CumulativeFraction(v int) float64 {
+	if h.n == 0 {
+		return 0
+	}
+	var c int64
+	for i := 0; i <= v && i < len(h.bins); i++ {
+		c += h.bins[i]
+	}
+	return float64(c) / float64(h.n)
+}
+
+// Percentile returns the p-th percentile (0..100) of sorted-copy xs.
+// It uses linear interpolation between closest ranks. Empty input
+// returns 0.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := make([]float64, len(xs))
+	copy(s, xs)
+	sort.Float64s(s)
+	if p <= 0 {
+		return s[0]
+	}
+	if p >= 100 {
+		return s[len(s)-1]
+	}
+	rank := p / 100 * float64(len(s)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := rank - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// ByUtilization aggregates per-second samples keyed by the integer
+// channel-utilization percentage of that second (0..100). Every
+// scatter plot in the paper is "mean of per-second quantity Q over all
+// seconds whose utilization was u%, for each u" — this type is that
+// aggregation.
+type ByUtilization struct {
+	cells [101]Welford
+}
+
+// Add records sample v for a second whose utilization was u percent.
+// u is clamped to 0..100.
+func (b *ByUtilization) Add(u int, v float64) {
+	if u < 0 {
+		u = 0
+	}
+	if u > 100 {
+		u = 100
+	}
+	b.cells[u].Add(v)
+}
+
+// Mean returns the mean sample at utilization u and the number of
+// seconds observed there.
+func (b *ByUtilization) Mean(u int) (float64, int64) {
+	if u < 0 || u > 100 {
+		return 0, 0
+	}
+	return b.cells[u].Mean(), b.cells[u].N()
+}
+
+// Series returns (utilization, mean) points for every utilization
+// percentage in [lo, hi] with at least minN observations — the rows a
+// figure plots. The paper restricts its figures to 30–99% utilization
+// (Sec 5.1).
+func (b *ByUtilization) Series(lo, hi int, minN int64) (us []int, means []float64) {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 100 {
+		hi = 100
+	}
+	for u := lo; u <= hi; u++ {
+		if b.cells[u].N() >= minN && b.cells[u].N() > 0 {
+			us = append(us, u)
+			means = append(means, b.cells[u].Mean())
+		}
+	}
+	return us, means
+}
+
+// MeanOver returns the grand mean over utilizations in [lo, hi],
+// weighting each second equally (not each utilization bin equally).
+func (b *ByUtilization) MeanOver(lo, hi int) float64 {
+	var acc Welford
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 100 {
+		hi = 100
+	}
+	for u := lo; u <= hi; u++ {
+		acc.Merge(b.cells[u])
+	}
+	return acc.Mean()
+}
+
+// NOver returns the number of seconds observed at utilizations in
+// [lo, hi].
+func (b *ByUtilization) NOver(lo, hi int) int64 {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 100 {
+		hi = 100
+	}
+	var n int64
+	for u := lo; u <= hi; u++ {
+		n += b.cells[u].N()
+	}
+	return n
+}

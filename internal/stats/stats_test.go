@@ -1,0 +1,232 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestWelfordBasics(t *testing.T) {
+	var w Welford
+	if w.Mean() != 0 || w.Variance() != 0 || w.N() != 0 {
+		t.Error("zero value must be zero")
+	}
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		w.Add(x)
+	}
+	if w.N() != 8 {
+		t.Errorf("N = %d", w.N())
+	}
+	if !almost(w.Mean(), 5, 1e-12) {
+		t.Errorf("Mean = %v", w.Mean())
+	}
+	// Population variance is 4; sample variance is 32/7.
+	if !almost(w.Variance(), 32.0/7, 1e-12) {
+		t.Errorf("Variance = %v", w.Variance())
+	}
+	if !almost(w.Stddev(), math.Sqrt(32.0/7), 1e-12) {
+		t.Errorf("Stddev = %v", w.Stddev())
+	}
+}
+
+func TestWelfordSingleSample(t *testing.T) {
+	var w Welford
+	w.Add(42)
+	if w.Mean() != 42 || w.Variance() != 0 {
+		t.Error("single sample: mean 42, var 0")
+	}
+}
+
+func TestWelfordMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var all, a, b Welford
+	for i := 0; i < 1000; i++ {
+		x := rng.NormFloat64()*3 + 10
+		all.Add(x)
+		if i%2 == 0 {
+			a.Add(x)
+		} else {
+			b.Add(x)
+		}
+	}
+	a.Merge(b)
+	if a.N() != all.N() {
+		t.Errorf("merged N = %d", a.N())
+	}
+	if !almost(a.Mean(), all.Mean(), 1e-9) {
+		t.Errorf("merged mean %v vs %v", a.Mean(), all.Mean())
+	}
+	if !almost(a.Variance(), all.Variance(), 1e-9) {
+		t.Errorf("merged var %v vs %v", a.Variance(), all.Variance())
+	}
+	// Merging into empty and merging empty.
+	var empty Welford
+	empty.Merge(a)
+	if empty.N() != a.N() || !almost(empty.Mean(), a.Mean(), 1e-12) {
+		t.Error("merge into empty")
+	}
+	before := a
+	a.Merge(Welford{})
+	if a != before {
+		t.Error("merging empty must not change accumulator")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(101)
+	h.Add(55)
+	h.Add(55)
+	h.Add(86)
+	h.Add(-5)  // clamps to 0
+	h.Add(200) // clamps to 100
+	if h.N() != 5 {
+		t.Errorf("N = %d", h.N())
+	}
+	if h.Count(55) != 2 || h.Count(86) != 1 || h.Count(0) != 1 || h.Count(100) != 1 {
+		t.Error("counts wrong")
+	}
+	if h.Count(-1) != 0 || h.Count(101) != 0 {
+		t.Error("out-of-range Count must be 0")
+	}
+	mode, n := h.Mode()
+	if mode != 55 || n != 2 {
+		t.Errorf("Mode = %d,%d", mode, n)
+	}
+	if got := h.CumulativeFraction(55); !almost(got, 3.0/5, 1e-12) {
+		t.Errorf("CumulativeFraction(55) = %v", got)
+	}
+	if got := h.CumulativeFraction(100); !almost(got, 1, 1e-12) {
+		t.Errorf("CumulativeFraction(100) = %v", got)
+	}
+	if len(h.Bins()) != 101 {
+		t.Error("Bins length")
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram(10)
+	if h.CumulativeFraction(5) != 0 {
+		t.Error("empty cumulative fraction must be 0")
+	}
+	mode, n := h.Mode()
+	if mode != 0 || n != 0 {
+		t.Errorf("empty Mode = %d,%d", mode, n)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {25, 2}, {50, 3}, {75, 4}, {100, 5}, {-5, 1}, {150, 5},
+		{10, 1.4},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); !almost(got, c.want, 1e-12) {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Error("empty percentile must be 0")
+	}
+	// Input must not be mutated.
+	in := []float64{3, 1, 2}
+	Percentile(in, 50)
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Error("Percentile mutated its input")
+	}
+}
+
+func TestByUtilization(t *testing.T) {
+	var b ByUtilization
+	b.Add(55, 10)
+	b.Add(55, 20)
+	b.Add(86, 100)
+	b.Add(-3, 1)  // clamps to 0
+	b.Add(300, 1) // clamps to 100
+	m, n := b.Mean(55)
+	if m != 15 || n != 2 {
+		t.Errorf("Mean(55) = %v,%d", m, n)
+	}
+	if _, n := b.Mean(-1); n != 0 {
+		t.Error("out-of-range Mean must be empty")
+	}
+	us, means := b.Series(30, 99, 1)
+	if len(us) != 2 || us[0] != 55 || us[1] != 86 || means[0] != 15 || means[1] != 100 {
+		t.Errorf("Series = %v %v", us, means)
+	}
+	// minN filter.
+	us, _ = b.Series(30, 99, 2)
+	if len(us) != 1 || us[0] != 55 {
+		t.Errorf("Series minN: %v", us)
+	}
+	// MeanOver weights seconds equally: (10+20+100)/3.
+	if got := b.MeanOver(30, 99); !almost(got, 130.0/3, 1e-12) {
+		t.Errorf("MeanOver = %v", got)
+	}
+}
+
+func TestSeriesBoundsClamp(t *testing.T) {
+	var b ByUtilization
+	b.Add(0, 5)
+	b.Add(100, 7)
+	us, _ := b.Series(-10, 200, 1)
+	if len(us) != 2 || us[0] != 0 || us[1] != 100 {
+		t.Errorf("clamped Series = %v", us)
+	}
+}
+
+// Property: Welford mean matches naive mean.
+func TestWelfordMatchesNaive(t *testing.T) {
+	f := func(xs []float64) bool {
+		var w Welford
+		var sum float64
+		ok := true
+		n := 0
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e9 {
+				continue
+			}
+			w.Add(x)
+			sum += x
+			n++
+		}
+		if n > 0 {
+			ok = almost(w.Mean(), sum/float64(n), 1e-6*(1+math.Abs(sum)))
+		}
+		return ok
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: histogram preserves total count under clamping.
+func TestHistogramCountPreserved(t *testing.T) {
+	f := func(vs []int16) bool {
+		h := NewHistogram(101)
+		for _, v := range vs {
+			h.Add(int(v))
+		}
+		var total int64
+		for _, c := range h.Bins() {
+			total += c
+		}
+		return total == int64(len(vs)) && h.N() == int64(len(vs))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNOver(t *testing.T) {
+	var b ByUtilization
+	b.Add(40, 1)
+	b.Add(41, 1)
+	b.Add(90, 1)
+	if b.NOver(30, 60) != 2 || b.NOver(0, 100) != 3 || b.NOver(-5, 200) != 3 {
+		t.Error("NOver wrong")
+	}
+}
