@@ -12,6 +12,7 @@ import (
 	"sync"
 	"testing"
 
+	"wlan80211/internal/analysis"
 	"wlan80211/internal/capture"
 	"wlan80211/internal/core"
 	"wlan80211/internal/phy"
@@ -350,6 +351,60 @@ func BenchmarkFigure15_AcceptanceDelay(b *testing.B) {
 	b.ReportMetric(x1, "XL1_ms")
 	b.ReportMetric(s11, "S11_ms")
 	b.ReportMetric(x11, "XL11_ms")
+}
+
+// --- Analysis pipeline: batch vs streaming ---------------------------
+
+// BenchmarkAnalyzeBatch measures the compatibility entry point
+// (core.Analyze over a materialized trace) on the three-channel sweep
+// ladder.
+func BenchmarkAnalyzeBatch(b *testing.B) {
+	trace := sweep()
+	b.ResetTimer()
+	b.ReportAllocs()
+	var frames int64
+	for i := 0; i < b.N; i++ {
+		frames = core.Analyze(trace).TotalFrames
+	}
+	b.ReportMetric(float64(frames), "frames")
+}
+
+// BenchmarkAnalyzeStream measures the streaming path: records fed one
+// at a time through the metric pipeline, as a live capture would
+// arrive.
+func BenchmarkAnalyzeStream(b *testing.B) {
+	trace := sweep()
+	b.ResetTimer()
+	b.ReportAllocs()
+	var frames int64
+	for i := 0; i < b.N; i++ {
+		a, err := analysis.New(analysis.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for j := range trace {
+			a.Feed(trace[j])
+		}
+		frames = a.Result().TotalFrames
+	}
+	b.ReportMetric(float64(frames), "frames")
+}
+
+// BenchmarkAnalyzeParallel measures the per-channel sharded path (one
+// goroutine per channel, deterministic merge).
+func BenchmarkAnalyzeParallel(b *testing.B) {
+	trace := sweep()
+	b.ResetTimer()
+	b.ReportAllocs()
+	var frames int64
+	for i := 0; i < b.N; i++ {
+		r, err := analysis.AnalyzeWith(analysis.Options{Parallel: true}, trace)
+		if err != nil {
+			b.Fatal(err)
+		}
+		frames = r.TotalFrames
+	}
+	b.ReportMetric(float64(frames), "frames")
 }
 
 // --- Ablations (DESIGN.md A1–A4) -------------------------------------

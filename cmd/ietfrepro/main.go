@@ -18,15 +18,28 @@ import (
 	"fmt"
 	"os"
 
-	"wlan80211/internal/core"
+	"wlan80211/internal/analysis"
+	"wlan80211/internal/capture"
 	"wlan80211/internal/report"
 	"wlan80211/internal/workload"
 )
 
+// analyze runs the streaming pipeline over a trace, optionally with
+// per-channel parallelism (results are identical either way).
+func analyze(recs []capture.Record, parallel bool) *analysis.Result {
+	r, err := analysis.AnalyzeWith(analysis.Options{Parallel: parallel}, recs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ietfrepro:", err)
+		os.Exit(1)
+	}
+	return r
+}
+
 func main() {
 	var (
-		scale = flag.Float64("scale", 1.0, "scenario scale factor (0..1]")
-		only  = flag.Int("only", 0, "print only this figure number (0 = everything)")
+		scale    = flag.Float64("scale", 1.0, "scenario scale factor (0..1]")
+		only     = flag.Int("only", 0, "print only this figure number (0 = everything)")
+		parallel = flag.Bool("parallel", true, "shard analysis per channel across goroutines")
 	)
 	flag.Parse()
 
@@ -53,7 +66,7 @@ func main() {
 			os.Exit(1)
 		}
 		recs := b.Run()
-		r := core.Analyze(recs)
+		r := analyze(recs, *parallel)
 		if *only == 0 || *only == 4 || *only == 5 {
 			fmt.Printf("=== %s session (%d frames captured) ===\n\n", s.Name, len(recs))
 			if *only == 0 || *only == 4 {
@@ -79,7 +92,7 @@ func main() {
 
 	// Sweep ladder for Figures 6–15.
 	recs := workload.MultiSweep(workload.DefaultLadder(*scale))
-	r := core.Analyze(recs)
+	r := analyze(recs, *parallel)
 	fmt.Printf("=== utilization sweep (%d frames captured) ===\n\n", len(recs))
 	figs := map[int]*report.Table{
 		6:  report.Figure6(r),

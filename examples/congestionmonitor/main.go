@@ -1,17 +1,17 @@
 // Congestionmonitor: a streaming per-second congestion classifier —
 // the "robust operation" use case from the paper's introduction. It
-// consumes capture records incrementally (here from a live simulation,
-// in production from a monitor-mode interface), computes channel
-// busy-time with the paper's Equations 2–8 on the fly, and raises an
-// alert whenever the channel's congestion class changes.
+// plugs a custom Metric stage into the analysis pipeline: the shared
+// decoder computes channel busy-time (Equations 2–8) once per frame,
+// the stage classifies each finished second, and an alert fires
+// whenever the channel's congestion class changes. Records flow in
+// incrementally (here from a live simulation, in production from a
+// monitor-mode interface via Analyzer.Run).
 package main
 
 import (
 	"fmt"
 
-	"wlan80211/internal/capture"
-	"wlan80211/internal/core"
-	"wlan80211/internal/dot11"
+	"wlan80211/internal/analysis"
 	"wlan80211/internal/phy"
 	"wlan80211/internal/rate"
 	"wlan80211/internal/sim"
@@ -19,62 +19,43 @@ import (
 	"wlan80211/internal/workload"
 )
 
-// monitor is an incremental per-second utilization classifier built on
-// the core package's CBT primitives.
+// monitor is a custom analysis.Metric: an incremental per-second
+// utilization classifier. The decoder hands it every frame's CBT
+// charge; it only has to bucket and classify.
 type monitor struct {
-	classifier core.Classifier
-	second     int64
+	classifier analysis.Classifier
 	cbt        phy.Micros
-	last       core.Class
-	started    bool
+	last       analysis.Class
 }
 
-// feed consumes one capture record; when a second boundary passes it
-// classifies the finished second and reports transitions.
-func (m *monitor) feed(r capture.Record) {
-	sec := r.Second()
-	for m.started && m.second < sec {
-		m.finishSecond()
-	}
-	if !m.started {
-		m.started = true
-		m.second = sec
-	}
-	p, err := dot11.Parse(r.Frame)
-	if err != nil {
-		return
-	}
-	switch p.Frame.(type) {
-	case *dot11.Data:
-		m.cbt += core.CBTData(r.OrigLen, r.Rate)
-	case *dot11.RTS:
-		m.cbt += core.CBTRTS()
-	case *dot11.CTS:
-		m.cbt += core.CBTCTS()
-	case *dot11.ACK:
-		m.cbt += core.CBTACK()
-	case *dot11.Beacon:
-		m.cbt += core.CBTBeacon()
-	default:
-		m.cbt += core.CBTData(r.OrigLen, r.Rate)
-	}
-}
+// OnFrame accumulates the open second's busy time.
+func (m *monitor) OnFrame(ev *analysis.FrameEvent) { m.cbt += ev.CBT }
 
-func (m *monitor) finishSecond() {
-	u := core.UtilizationPercent(m.cbt)
+// OnSecond classifies the finished second and reports transitions.
+func (m *monitor) OnSecond(sec int64) {
+	u := analysis.UtilizationPercent(m.cbt)
+	m.cbt = 0
 	class := m.classifier.Classify(u)
 	marker := "  "
 	if class != m.last {
 		marker = "▶ " // class transition: this is the alert
 	}
-	fmt.Printf("%st=%3ds  util=%3d%%  %s\n", marker, m.second, u, class)
+	fmt.Printf("%st=%3ds  util=%3d%%  %s\n", marker, sec, u, class)
 	m.last = class
-	m.second++
-	m.cbt = 0
 }
+
+// Finalize has nothing to merge: the monitor's output is its alerts.
+func (m *monitor) Finalize(r *analysis.Result) {}
 
 func main() {
 	fmt.Println("congestion monitor (channel 1) — ▶ marks class transitions")
+
+	analysis.Register("congestion-alert", "live per-second congestion class transitions",
+		func() analysis.Metric { return &monitor{classifier: analysis.PaperClassifier()} })
+	a, err := analysis.New(analysis.Options{Metrics: []string{"congestion-alert"}})
+	if err != nil {
+		panic(err)
+	}
 
 	// Live source: a cell whose load ramps from light to saturated.
 	sw := workload.Sweep{
@@ -87,7 +68,7 @@ func main() {
 		Channel:     phy.Channel1,
 		Seed:        42,
 	}
-	// Rebuild the sweep manually so the monitor sees records as the
+	// Rebuild the sweep manually so the analyzer sees records as the
 	// simulation produces them (streaming, not post-hoc).
 	cfg := sim.DefaultConfig()
 	cfg.Seed = sw.Seed
@@ -95,12 +76,11 @@ func main() {
 	ap := net.AddAP("ap", sim.Position{X: 11, Y: 11}, sw.Channel)
 	sn := sniffer.New(sniffer.DefaultConfig("mon", 1, sim.Position{X: 11, Y: 13}, sw.Channel))
 
-	m := &monitor{classifier: core.PaperClassifier()}
 	seen := 0
 	net.AddTap(tapFunc(func(o sim.TxObservation) {
 		sn.ObserveTransmission(o)
 		for _, r := range sn.Records()[seen:] {
-			m.feed(r)
+			a.Feed(r)
 			seen++
 		}
 	}))
@@ -111,6 +91,7 @@ func main() {
 		net.Schedule(at, func() { net.StartTraffic(st, sim.ProfileBulk, sw.Load) })
 	}
 	net.RunFor(phy.Micros(sw.DurationSec()) * phy.MicrosPerSecond)
+	a.Result() // close the final second (flushes the last alert line)
 }
 
 type tapFunc func(sim.TxObservation)

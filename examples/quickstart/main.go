@@ -8,7 +8,7 @@ import (
 	"fmt"
 	"os"
 
-	"wlan80211/internal/core"
+	"wlan80211/internal/analysis"
 	"wlan80211/internal/phy"
 	"wlan80211/internal/rate"
 	"wlan80211/internal/report"
@@ -34,8 +34,8 @@ func main() {
 	net.RunFor(30 * phy.MicrosPerSecond)
 
 	// Analyze the capture exactly as the paper does.
-	result := core.Analyze(sn.Records())
-	classifier := core.PaperClassifier()
+	result := analysis.Analyze(sn.Records())
+	classifier := analysis.PaperClassifier()
 
 	fmt.Printf("captured %d frames (%.1f%% of channel activity)\n\n",
 		result.TotalFrames, 100*(1-sn.UnrecordedTruth()))

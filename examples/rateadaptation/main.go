@@ -12,7 +12,7 @@ import (
 	"fmt"
 	"os"
 
-	"wlan80211/internal/core"
+	"wlan80211/internal/analysis"
 	"wlan80211/internal/phy"
 	"wlan80211/internal/rate"
 	"wlan80211/internal/report"
@@ -58,7 +58,7 @@ func run(f rate.Factory) (goodput float64, acked, dropped int64, bt1 float64) {
 	const seconds = 30
 	net.RunFor(seconds * phy.MicrosPerSecond)
 
-	r := core.Analyze(sn.Records())
+	r := analysis.Analyze(sn.Records())
 	// Mean goodput and 1 Mbps busy time across all observed seconds.
 	goodput = r.Goodput.MeanOver(0, 100)
 	bt1 = r.BusyTimePerRate[0].MeanOver(0, 100)

@@ -14,8 +14,8 @@ import (
 	"fmt"
 	"os"
 
+	"wlan80211/internal/analysis"
 	"wlan80211/internal/capture"
-	"wlan80211/internal/core"
 	"wlan80211/internal/phy"
 	"wlan80211/internal/rate"
 	"wlan80211/internal/report"
@@ -79,7 +79,7 @@ func run(positions []sim.Position) (captured int64, estPct, truthPct float64) {
 		missed += sn.Seen - sn.Captured
 	}
 	merged := capture.Merge(traces...)
-	r := core.Analyze(merged)
+	r := analysis.Analyze(merged)
 
 	// Ground truth miss rate for the union: a frame is missed only if
 	// every sniffer missed it; approximate with merged/seen.

@@ -1,0 +1,3 @@
+module wlan80211
+
+go 1.24

@@ -1,0 +1,242 @@
+// Package analysis is the canonical entry point for the paper's
+// congestion analysis (Jardosh et al., IMC 2005): channel busy-time
+// (Table 2, Equations 2–7), per-second channel utilization (Equation
+// 8), throughput and goodput, congestion classification with knee
+// detection (Sec 5), unrecorded-frame estimation from DCF atomicity
+// (Sec 4.4, Equation 1), the 16 size×rate frame categories (Sec 6),
+// and the per-figure aggregations for Figures 4–15.
+//
+// Unlike the batch core.Analyze of earlier revisions, the analysis is
+// a streaming pipeline: a shared single-pass decoder parses each
+// record once, tracks DCF exchange state, and fans annotated
+// FrameEvents out to independent Metric stages — one per paper figure
+// group — selected through Options.Metrics. Records arrive
+// incrementally via Feed (or straight from a pcap stream via Run), so
+// peak memory is bounded by per-second accumulator state and the
+// per-device exchange tables, not by trace length. Work is sharded
+// per channel — the unit at which the paper computes every metric —
+// and optionally spread across goroutines; shards merge in ascending
+// channel order, making the parallel path deterministic and
+// bit-identical to the sequential one.
+//
+// The analysis consumes only capture records — what a vicinity sniffer
+// could see — never simulator ground truth, so its estimators face the
+// same information limits the paper's did.
+package analysis
+
+import (
+	"io"
+	"sort"
+
+	"wlan80211/internal/capture"
+	"wlan80211/internal/pcapio"
+	"wlan80211/internal/phy"
+)
+
+// feedBatchSize is how many records a parallel shard receives per
+// channel send (amortizes synchronization on the hot path).
+const feedBatchSize = 512
+
+// Options configures an Analyzer.
+type Options struct {
+	// Metrics selects which registered stages run, by name
+	// (see Names). Empty runs every registered stage.
+	Metrics []string
+	// Parallel runs each channel shard on its own goroutine. Results
+	// are identical to the sequential path: shards are independent
+	// and merge in ascending channel order.
+	Parallel bool
+}
+
+// shard is the per-channel unit of work: its own decoder and metric
+// instances, fed only that channel's records.
+type shard struct {
+	dec *decoder
+
+	// Parallel mode: records flow through in; done closes when the
+	// worker drains it.
+	in   chan []capture.Record
+	buf  []capture.Record
+	done chan struct{}
+}
+
+// Analyzer consumes capture records incrementally and produces the
+// paper's Result. Feed records (in non-decreasing time order per
+// channel), then call Result once. Analyzer is not safe for
+// concurrent use; parallelism is internal, per channel shard.
+type Analyzer struct {
+	opts   Options
+	defs   []metricDef
+	shards map[phy.Channel]*shard
+	res    *Result
+}
+
+// New builds an Analyzer. It fails only when Options.Metrics names an
+// unregistered stage.
+func New(opts Options) (*Analyzer, error) {
+	defs, err := lookup(opts.Metrics)
+	if err != nil {
+		return nil, err
+	}
+	return &Analyzer{
+		opts:   opts,
+		defs:   defs,
+		shards: make(map[phy.Channel]*shard),
+	}, nil
+}
+
+// shardFor returns (creating on first use) the channel's shard.
+func (a *Analyzer) shardFor(ch phy.Channel) *shard {
+	if s, ok := a.shards[ch]; ok {
+		return s
+	}
+	metrics := make([]Metric, len(a.defs))
+	for i, d := range a.defs {
+		metrics[i] = d.factory()
+	}
+	s := &shard{dec: newDecoder(metrics)}
+	if a.opts.Parallel {
+		s.in = make(chan []capture.Record, 4)
+		s.done = make(chan struct{})
+		go func() {
+			defer close(s.done)
+			for batch := range s.in {
+				for i := range batch {
+					s.dec.feed(batch[i])
+				}
+			}
+		}()
+	}
+	a.shards[ch] = s
+	return s
+}
+
+// Feed consumes one record. Records must arrive in non-decreasing
+// time order within each channel (interleaving across channels is
+// fine); a record older than its channel's open second is folded into
+// the open second. Feed panics if called after Result.
+func (a *Analyzer) Feed(rec capture.Record) {
+	if a.res != nil {
+		panic("analysis: Feed after Result")
+	}
+	s := a.shardFor(rec.Channel)
+	if !a.opts.Parallel {
+		s.dec.feed(rec)
+		return
+	}
+	s.buf = append(s.buf, rec)
+	if len(s.buf) >= feedBatchSize {
+		s.in <- s.buf
+		s.buf = make([]capture.Record, 0, feedBatchSize)
+	}
+}
+
+// FeedAll consumes a slice of records via Feed.
+func (a *Analyzer) FeedAll(recs []capture.Record) {
+	for i := range recs {
+		a.Feed(recs[i])
+	}
+}
+
+// Run streams a radiotap pcap directly into the analyzer, record by
+// record, without materializing the trace. It returns the number of
+// records skipped because their radiotap header failed to decode
+// (matching capture.ReadAll's tolerance). Run may be called for
+// several streams before Result.
+func (a *Analyzer) Run(rd io.Reader) (skipped int, err error) {
+	pr, err := pcapio.NewReader(rd)
+	if err != nil {
+		return 0, err
+	}
+	if pr.LinkType() != pcapio.LinkTypeRadiotap {
+		return 0, capture.ErrLinkType
+	}
+	for {
+		p, err := pr.Next()
+		if err == io.EOF {
+			return skipped, nil
+		}
+		if err != nil {
+			return skipped, err
+		}
+		r, err := capture.FromPcap(p)
+		if err != nil {
+			skipped++
+			continue
+		}
+		a.Feed(r)
+	}
+}
+
+// Result closes every open second, merges all channel shards in
+// ascending channel order, and returns the analysis. Repeated calls
+// return the same Result; Feed must not be called afterwards.
+func (a *Analyzer) Result() *Result {
+	if a.res != nil {
+		return a.res
+	}
+	if a.opts.Parallel {
+		for _, s := range a.shards {
+			if len(s.buf) > 0 {
+				s.in <- s.buf
+				s.buf = nil
+			}
+			close(s.in)
+		}
+		for _, s := range a.shards {
+			<-s.done
+		}
+	}
+
+	channels := make([]phy.Channel, 0, len(a.shards))
+	for ch := range a.shards {
+		channels = append(channels, ch)
+	}
+	sort.Slice(channels, func(i, j int) bool { return channels[i] < channels[j] })
+
+	res := newResult()
+	for _, ch := range channels {
+		s := a.shards[ch]
+		s.dec.close()
+		res.TotalFrames += s.dec.totalFrames
+		res.ParseErrors += s.dec.parseErrors
+		for _, m := range s.dec.metrics {
+			m.Finalize(res)
+		}
+	}
+	res.finish()
+	a.res = res
+	return res
+}
+
+// Analyze runs the full pipeline over a merged trace with every
+// registered metric, sequentially. Records are processed per channel
+// in time order (each channel's records are stably sorted by
+// timestamp first, so unordered input is accepted).
+func Analyze(recs []capture.Record) *Result {
+	r, err := AnalyzeWith(Options{}, recs)
+	if err != nil {
+		panic(err) // unreachable: default options never fail
+	}
+	return r
+}
+
+// AnalyzeWith is Analyze with explicit Options.
+func AnalyzeWith(opts Options, recs []capture.Record) (*Result, error) {
+	a, err := New(opts)
+	if err != nil {
+		return nil, err
+	}
+	byCh := capture.SplitByChannel(recs)
+	channels := make([]phy.Channel, 0, len(byCh))
+	for ch := range byCh {
+		channels = append(channels, ch)
+	}
+	sort.Slice(channels, func(i, j int) bool { return channels[i] < channels[j] })
+	for _, ch := range channels {
+		chRecs := byCh[ch]
+		sort.SliceStable(chRecs, func(i, j int) bool { return chRecs[i].Time < chRecs[j].Time })
+		a.FeedAll(chRecs)
+	}
+	return a.Result(), nil
+}

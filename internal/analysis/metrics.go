@@ -1,0 +1,382 @@
+package analysis
+
+import (
+	"wlan80211/internal/dot11"
+	"wlan80211/internal/phy"
+	"wlan80211/internal/stats"
+)
+
+// The built-in stages, one per paper figure group, registered in
+// figure order. Each is an independent accumulator over the shared
+// decoder's events; disabling one simply leaves its Result fields
+// zero-valued.
+func init() {
+	Register("util", "per-second CBT, utilization series and histogram (Figures 5a-c)",
+		func() Metric { return &utilMetric{} })
+	Register("throughput", "throughput and goodput vs utilization (Figure 6)",
+		func() Metric { return &throughputMetric{} })
+	Register("rtscts", "RTS and CTS frames per second vs utilization (Figure 7)",
+		func() Metric { return &rtsctsMetric{} })
+	Register("rates", "per-rate busy time and bytes vs utilization (Figures 8-9)",
+		func() Metric { return &ratesMetric{} })
+	Register("categories", "transmissions per 16 size x rate category (Figures 10-13)",
+		func() Metric { return &categoriesMetric{} })
+	Register("firstack", "first-attempt acknowledgments per rate (Figure 14)",
+		func() Metric { return &firstAckMetric{} })
+	Register("delay", "acceptance delay per category (Figure 15)",
+		func() Metric { return &delayMetric{} })
+	Register("aps", "per-AP traffic attribution and user counts (Figure 4)",
+		func() Metric { return &apsMetric{} })
+	Register("unrecorded", "unrecorded-frame estimators from DCF atomicity (Sec 4.4)",
+		func() Metric { return &unrecordedMetric{} })
+}
+
+// utilMetric builds the gap-free per-second SecondStat series and the
+// utilization histogram (Figures 5a/5b/5c).
+type utilMetric struct {
+	haveCh   bool
+	cur      SecondStat
+	tputBits int64
+	gputBits int64
+	series   []SecondStat
+	hist     *stats.Histogram
+}
+
+func (m *utilMetric) OnFrame(ev *FrameEvent) {
+	if !m.haveCh {
+		m.haveCh = true
+		m.cur.Channel = ev.Rec.Channel
+	}
+	m.cur.CBT += ev.CBT
+	switch ev.Kind {
+	case KindInvalid:
+		return
+	case KindData:
+		m.cur.Data++
+	case KindACK:
+		m.cur.ACK++
+	case KindRTS:
+		m.cur.RTS++
+	case KindCTS:
+		m.cur.CTS++
+	case KindBeacon:
+		m.cur.Beacon++
+	}
+	m.tputBits += int64(ev.Rec.OrigLen) * 8
+	m.gputBits += ev.GoodputBits
+}
+
+func (m *utilMetric) OnSecond(sec int64) {
+	s := m.cur
+	s.Second = sec
+	s.Utilization = UtilizationPercent(s.CBT)
+	s.ThroughputMbps = float64(m.tputBits) / 1e6
+	s.GoodputMbps = float64(m.gputBits) / 1e6
+	m.series = append(m.series, s)
+	if m.hist == nil {
+		m.hist = stats.NewHistogram(101)
+	}
+	m.hist.Add(s.Utilization)
+	ch := m.cur.Channel
+	m.cur = SecondStat{Channel: ch}
+	m.tputBits, m.gputBits = 0, 0
+}
+
+func (m *utilMetric) Finalize(r *Result) {
+	if len(m.series) > 0 {
+		r.PerChannel[m.series[0].Channel] = m.series
+	}
+	if m.hist != nil {
+		r.UtilHist.Merge(m.hist)
+	}
+}
+
+// throughputMetric aggregates per-second throughput and goodput by
+// utilization (Figure 6).
+type throughputMetric struct {
+	secondUtil
+	tputBits int64
+	gputBits int64
+	tput     stats.ByUtilization
+	gput     stats.ByUtilization
+}
+
+func (m *throughputMetric) OnFrame(ev *FrameEvent) {
+	m.observe(ev)
+	if ev.Kind == KindInvalid {
+		return
+	}
+	m.tputBits += int64(ev.Rec.OrigLen) * 8
+	m.gputBits += ev.GoodputBits
+}
+
+func (m *throughputMetric) OnSecond(sec int64) {
+	u := m.flush()
+	m.tput.Add(u, float64(m.tputBits)/1e6)
+	m.gput.Add(u, float64(m.gputBits)/1e6)
+	m.tputBits, m.gputBits = 0, 0
+}
+
+func (m *throughputMetric) Finalize(r *Result) {
+	r.Throughput.Merge(&m.tput)
+	r.Goodput.Merge(&m.gput)
+}
+
+// rtsctsMetric counts RTS and CTS frames per second by utilization
+// (Figure 7).
+type rtsctsMetric struct {
+	secondUtil
+	rts, cts     int
+	rtsBy, ctsBy stats.ByUtilization
+}
+
+func (m *rtsctsMetric) OnFrame(ev *FrameEvent) {
+	m.observe(ev)
+	switch ev.Kind {
+	case KindRTS:
+		m.rts++
+	case KindCTS:
+		m.cts++
+	}
+}
+
+func (m *rtsctsMetric) OnSecond(sec int64) {
+	u := m.flush()
+	m.rtsBy.Add(u, float64(m.rts))
+	m.ctsBy.Add(u, float64(m.cts))
+	m.rts, m.cts = 0, 0
+}
+
+func (m *rtsctsMetric) Finalize(r *Result) {
+	r.RTSPerSec.Merge(&m.rtsBy)
+	r.CTSPerSec.Merge(&m.ctsBy)
+}
+
+// ratesMetric attributes busy time and bytes to each transmission rate
+// (Figures 8 and 9).
+type ratesMetric struct {
+	secondUtil
+	cbtPerRate   [4]int64
+	bytesPerRate [4]int64
+	cbtBy        [4]stats.ByUtilization
+	bytesBy      [4]stats.ByUtilization
+}
+
+func (m *ratesMetric) OnFrame(ev *FrameEvent) {
+	m.observe(ev)
+	if ev.Kind == KindInvalid {
+		return
+	}
+	m.cbtPerRate[ev.RateIdx] += int64(ev.CBT)
+	m.bytesPerRate[ev.RateIdx] += int64(ev.Rec.OrigLen)
+}
+
+func (m *ratesMetric) OnSecond(sec int64) {
+	u := m.flush()
+	for i := 0; i < 4; i++ {
+		m.cbtBy[i].Add(u, float64(m.cbtPerRate[i])/1e6)
+		m.bytesBy[i].Add(u, float64(m.bytesPerRate[i]))
+		m.cbtPerRate[i], m.bytesPerRate[i] = 0, 0
+	}
+}
+
+func (m *ratesMetric) Finalize(r *Result) {
+	for i := 0; i < 4; i++ {
+		r.BusyTimePerRate[i].Merge(&m.cbtBy[i])
+		r.BytesPerRate[i].Merge(&m.bytesBy[i])
+	}
+}
+
+// categoriesMetric counts data transmissions per size x rate category
+// (Figures 10-13).
+type categoriesMetric struct {
+	secondUtil
+	tx   [16]int
+	txBy [16]stats.ByUtilization
+}
+
+func (m *categoriesMetric) OnFrame(ev *FrameEvent) {
+	m.observe(ev)
+	if ev.Kind == KindData && ev.CatOK {
+		m.tx[ev.CatIndex]++
+	}
+}
+
+func (m *categoriesMetric) OnSecond(sec int64) {
+	u := m.flush()
+	for i := 0; i < 16; i++ {
+		m.txBy[i].Add(u, float64(m.tx[i]))
+		m.tx[i] = 0
+	}
+}
+
+func (m *categoriesMetric) Finalize(r *Result) {
+	for i := 0; i < 16; i++ {
+		r.TxPerCategory[i].Merge(&m.txBy[i])
+	}
+}
+
+// firstAckMetric counts data frames acknowledged at the first attempt,
+// per rate (Figure 14).
+type firstAckMetric struct {
+	secondUtil
+	acked [4]int
+	by    [4]stats.ByUtilization
+}
+
+func (m *firstAckMetric) OnFrame(ev *FrameEvent) {
+	m.observe(ev)
+	if ev.Acked && !ev.AckedRetry {
+		m.acked[ev.AckedRateIdx]++
+	}
+}
+
+func (m *firstAckMetric) OnSecond(sec int64) {
+	u := m.flush()
+	for i := 0; i < 4; i++ {
+		m.by[i].Add(u, float64(m.acked[i]))
+		m.acked[i] = 0
+	}
+}
+
+func (m *firstAckMetric) Finalize(r *Result) {
+	for i := 0; i < 4; i++ {
+		r.FirstAckPerRate[i].Merge(&m.by[i])
+	}
+}
+
+// delaySample is one measured acceptance delay awaiting its second's
+// utilization.
+type delaySample struct {
+	cat   int
+	delay float64 // seconds
+}
+
+// delayMetric measures MSDU acceptance delay per category (Figure 15).
+type delayMetric struct {
+	secondUtil
+	pending []delaySample
+	by      [16]stats.ByUtilization
+}
+
+func (m *delayMetric) OnFrame(ev *FrameEvent) {
+	m.observe(ev)
+	if ev.AckedDelayOK {
+		m.pending = append(m.pending, delaySample{cat: ev.AckedCat, delay: ev.AckedDelay})
+	}
+}
+
+func (m *delayMetric) OnSecond(sec int64) {
+	u := m.flush()
+	for _, d := range m.pending {
+		m.by[d.cat].Add(u, d.delay)
+	}
+	m.pending = m.pending[:0]
+}
+
+func (m *delayMetric) Finalize(r *Result) {
+	for i := 0; i < 16; i++ {
+		r.AcceptDelay[i].Merge(&m.by[i])
+	}
+}
+
+// apsMetric discovers APs, attributes traffic and unrecorded frames to
+// them, and collects the per-window client addresses behind the user
+// count (Figure 4). Discovery and counting happen in the same pass:
+// frames are counted for every address and the report filters to the
+// final AP set, which is only complete once all shards merge.
+type apsMetric struct {
+	known   map[dot11.Addr]bool
+	frames  map[dot11.Addr]int64
+	unrec   map[dot11.Addr]int64
+	windows map[int64]map[dot11.Addr]bool
+}
+
+func (m *apsMetric) OnFrame(ev *FrameEvent) {
+	if ev.Kind == KindInvalid {
+		return
+	}
+	if m.known == nil {
+		m.known = make(map[dot11.Addr]bool)
+		m.frames = make(map[dot11.Addr]int64)
+		m.unrec = make(map[dot11.Addr]int64)
+		m.windows = make(map[int64]map[dot11.Addr]bool)
+	}
+	// AP discovery: beacon transmitters and FromDS BSSIDs.
+	switch f := ev.Parsed.Frame.(type) {
+	case *dot11.Beacon:
+		m.known[f.SA] = true
+	case *dot11.Data:
+		if f.FC.FromDS && !f.FC.ToDS {
+			m.known[f.Addr2] = true
+		}
+	}
+	// Traffic attribution (transmitter plus unicast receiver).
+	if ta, ok := dot11.TransmitterOf(ev.Parsed.Frame); ok {
+		m.frames[ta]++
+	}
+	if ra := dot11.ReceiverOf(ev.Parsed.Frame); !ra.IsGroup() {
+		m.frames[ra]++
+	}
+	// Unrecorded-frame attribution (Sec 4.4).
+	if ev.Missing != MissingNone {
+		m.unrec[ev.MissingAddr]++
+	}
+	// User counting: client addresses of data exchanges per 30 s
+	// window (AP addresses are filtered out at finish time, once the
+	// AP set is complete).
+	if d, ok := ev.Parsed.Frame.(*dot11.Data); ok {
+		w := int64(ev.Rec.Time / phy.MicrosPerSecond / UserWindowSeconds)
+		m.addUser(w, d.Addr2)
+		m.addUser(w, d.Addr1)
+	}
+}
+
+func (m *apsMetric) addUser(w int64, a dot11.Addr) {
+	if a.IsGroup() {
+		return
+	}
+	set, ok := m.windows[w]
+	if !ok {
+		set = make(map[dot11.Addr]bool)
+		m.windows[w] = set
+	}
+	set[a] = true
+}
+
+func (m *apsMetric) OnSecond(sec int64) {}
+
+func (m *apsMetric) Finalize(r *Result) {
+	if m.known == nil {
+		return
+	}
+	r.APs.merge(m.known, m.frames, m.unrec)
+	r.mergeUserWindows(m.windows)
+}
+
+// unrecordedMetric totals the atomicity-based unrecorded-frame
+// estimators (Sec 4.4, Equation 1).
+type unrecordedMetric struct {
+	u UnrecordedStats
+}
+
+func (m *unrecordedMetric) OnFrame(ev *FrameEvent) {
+	m.u.Captured++
+	switch ev.Missing {
+	case MissingData:
+		m.u.MissingData++
+	case MissingRTS:
+		m.u.MissingRTS++
+	case MissingCTS:
+		m.u.MissingCTS++
+	}
+}
+
+func (m *unrecordedMetric) OnSecond(sec int64) {}
+
+func (m *unrecordedMetric) Finalize(r *Result) {
+	r.Unrecorded.MissingData += m.u.MissingData
+	r.Unrecorded.MissingRTS += m.u.MissingRTS
+	r.Unrecorded.MissingCTS += m.u.MissingCTS
+	r.Unrecorded.Captured += m.u.Captured
+}

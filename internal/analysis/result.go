@@ -1,0 +1,170 @@
+package analysis
+
+import (
+	"sort"
+
+	"wlan80211/internal/dot11"
+	"wlan80211/internal/phy"
+	"wlan80211/internal/stats"
+)
+
+// SecondStat is one second of one channel, the unit of the paper's
+// analysis.
+type SecondStat struct {
+	// Second is the interval index (seconds from trace epoch).
+	Second int64
+	// Channel the statistics belong to.
+	Channel phy.Channel
+	// CBT is the summed channel busy-time (Equation 7).
+	CBT phy.Micros
+	// Utilization is Equation 8's percentage for this second.
+	Utilization int
+	// ThroughputMbps counts bits of all captured frames.
+	ThroughputMbps float64
+	// GoodputMbps counts bits of control frames and successfully
+	// acknowledged data frames.
+	GoodputMbps float64
+	// Frame counts by type.
+	Data, RTS, CTS, ACK, Beacon int
+}
+
+// Result is the full analysis of a trace. Fields are populated by the
+// metric stages that ran; a stage that was not selected leaves its
+// fields zero-valued.
+type Result struct {
+	// PerChannel holds the per-second time series (Figures 5a/5b).
+	PerChannel map[phy.Channel][]SecondStat
+	// UtilHist is the utilization frequency histogram (Figure 5c),
+	// one count per channel-second.
+	UtilHist *stats.Histogram
+
+	// Figure 6.
+	Throughput stats.ByUtilization // Mbps samples keyed by utilization
+	Goodput    stats.ByUtilization
+
+	// Figure 7: RTS and CTS frames per second.
+	RTSPerSec stats.ByUtilization
+	CTSPerSec stats.ByUtilization
+
+	// Figure 8: per-rate channel busy-time (seconds of each second).
+	BusyTimePerRate [4]stats.ByUtilization
+	// Figure 9: per-rate bytes per second.
+	BytesPerRate [4]stats.ByUtilization
+
+	// Figures 10–13: data-frame transmissions per second for each of
+	// the 16 size×rate categories.
+	TxPerCategory [16]stats.ByUtilization
+
+	// Figure 14: data frames acknowledged at first attempt, per rate.
+	FirstAckPerRate [4]stats.ByUtilization
+
+	// Figure 15: acceptance delay (seconds) per category.
+	AcceptDelay [16]stats.ByUtilization
+
+	// Figure 4: per-AP traffic and unrecorded estimation, user counts.
+	APs   APReport
+	Users []UserPoint
+
+	// Unrecorded aggregates the atomicity-based estimators (Sec 4.4).
+	Unrecorded UnrecordedStats
+
+	// TotalFrames is the number of records analyzed.
+	TotalFrames int64
+	// ParseErrors counts records whose MAC frame failed to parse.
+	ParseErrors int64
+
+	// userWindows accumulates per-window client-address candidates
+	// until every shard has finalized; finish() resolves it against the
+	// full AP set into Users.
+	userWindows map[int64]map[dot11.Addr]bool
+}
+
+// newResult builds an empty Result ready for metric finalization.
+func newResult() *Result {
+	return &Result{
+		PerChannel: make(map[phy.Channel][]SecondStat),
+		UtilHist:   stats.NewHistogram(101),
+	}
+}
+
+// mergeUserWindows folds one shard's per-window address sets in.
+func (r *Result) mergeUserWindows(windows map[int64]map[dot11.Addr]bool) {
+	if r.userWindows == nil {
+		r.userWindows = make(map[int64]map[dot11.Addr]bool, len(windows))
+	}
+	for w, addrs := range windows {
+		m, ok := r.userWindows[w]
+		if !ok {
+			m = make(map[dot11.Addr]bool, len(addrs))
+			r.userWindows[w] = m
+		}
+		for a := range addrs {
+			m[a] = true
+		}
+	}
+}
+
+// finish resolves cross-shard state once every metric has finalized:
+// the user count of a window is the number of distinct non-AP
+// addresses seen in it, and the AP set is only complete after all
+// channels merged.
+func (r *Result) finish() {
+	if r.userWindows == nil {
+		return
+	}
+	keys := make([]int64, 0, len(r.userWindows))
+	for k := range r.userWindows {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, k := range keys {
+		n := 0
+		for a := range r.userWindows[k] {
+			if !r.APs.IsAP(a) {
+				n++
+			}
+		}
+		if n > 0 {
+			r.Users = append(r.Users, UserPoint{WindowStart: k * UserWindowSeconds, Users: n})
+		}
+	}
+	r.userWindows = nil
+}
+
+// UnrecordedStats aggregates Equation 1's inputs.
+type UnrecordedStats struct {
+	// MissingData counts ACKs whose soliciting DATA was not captured.
+	MissingData int64
+	// MissingRTS counts CTSs whose soliciting RTS was not captured.
+	MissingRTS int64
+	// MissingCTS counts RTS→DATA exchanges whose CTS was not captured.
+	MissingCTS int64
+	// Captured is the total captured frame count.
+	Captured int64
+}
+
+// Total returns the estimated number of unrecorded frames.
+func (u UnrecordedStats) Total() int64 {
+	return u.MissingData + u.MissingRTS + u.MissingCTS
+}
+
+// Percent is Equation 1: unrecorded/(unrecorded+captured) × 100.
+func (u UnrecordedStats) Percent() float64 {
+	t := u.Total()
+	if t+u.Captured == 0 {
+		return 0
+	}
+	return 100 * float64(t) / float64(t+u.Captured)
+}
+
+// UserPoint is one 30-second sample of the associated-user estimate
+// (Figure 4b counts distinct active client addresses per window).
+type UserPoint struct {
+	// WindowStart is the window's first second.
+	WindowStart int64
+	// Users is the number of distinct client addresses observed.
+	Users int
+}
+
+// UserWindowSeconds is the averaging window of Figure 4b.
+const UserWindowSeconds = 30

@@ -1,14 +1,4 @@
-// Package core implements the paper's analysis: channel busy-time
-// (Table 2, Equations 2–7), per-second channel utilization (Equation
-// 8), throughput and goodput, congestion classification with knee
-// detection (Sec 5), unrecorded-frame estimation from DCF atomicity
-// (Sec 4.4, Equation 1), the 16 size×rate frame categories (Sec 6),
-// and the per-figure aggregations for Figures 4–15.
-//
-// The analysis consumes only capture records — what a vicinity sniffer
-// could see — never simulator ground truth, so its estimators face the
-// same information limits the paper's did.
-package core
+package analysis
 
 import (
 	"wlan80211/internal/phy"
@@ -26,6 +16,11 @@ const (
 	DelayBO     phy.Micros = 0 // Sec 5.1: at least one station always has BO=0
 	DelayPLCP   phy.Micros = 192
 )
+
+// AckMatchWindow is the maximum gap between the end of a data frame
+// and the start of its ACK for the pair to be considered a DATA–ACK
+// exchange (SIFS plus scheduling slack).
+const AckMatchWindow phy.Micros = 6 * DelaySIFS
 
 // DataDelay is the paper's DDATA(size)(rate) = DPLCP + 8*(34+size)/rate
 // with size in bytes and rate in Mbps. The 34 bytes account for

@@ -162,6 +162,58 @@ func TestMergeSortsAndDedups(t *testing.T) {
 	}
 }
 
+// TestMergeEqualTimeTieBreaking pins Merge's documented stability:
+// distinct records with equal timestamps keep their input order —
+// within one trace, and across traces in argument order. The analysis
+// depends on this for reproducible exchange matching when a DATA and
+// its ACK carry the same (coarse) timestamp.
+func TestMergeEqualTimeTieBreaking(t *testing.T) {
+	a := testRecord(100, phy.Channel1, 0xa)
+	b := testRecord(100, phy.Channel1, 0xb)
+	c := testRecord(100, phy.Channel1, 0xc)
+
+	merged := Merge([]Record{a, b}, []Record{c})
+	if len(merged) != 3 {
+		t.Fatalf("merged %d records, want 3", len(merged))
+	}
+	want := []byte{0xa, 0xb, 0xc}
+	for i, r := range merged {
+		if got := r.Frame[len(r.Frame)-1]; got != want[i] {
+			t.Fatalf("merged[%d] payload = %#x, want %#x (tie-break order broken)", i, got, want[i])
+		}
+	}
+	// Argument order decides between traces too: swapping the traces
+	// swaps the run of equal-time records.
+	merged = Merge([]Record{c}, []Record{a, b})
+	want = []byte{0xc, 0xa, 0xb}
+	for i, r := range merged {
+		if got := r.Frame[len(r.Frame)-1]; got != want[i] {
+			t.Fatalf("swapped merged[%d] payload = %#x, want %#x", i, got, want[i])
+		}
+	}
+}
+
+// TestMergeDedupRequiresIdenticalAir checks that near-duplicates —
+// same instant but different rate, channel, or frame bytes — are all
+// preserved; only true cross-sniffer copies collapse.
+func TestMergeDedupRequiresIdenticalAir(t *testing.T) {
+	base := testRecord(500, phy.Channel1, 1)
+
+	diffRate := base
+	diffRate.Rate = phy.Rate1Mbps
+	diffChan := base
+	diffChan.Channel = phy.Channel11
+	diffBytes := testRecord(500, phy.Channel1, 2)
+	trueDup := base
+	trueDup.SnifferID = 9
+	trueDup.NoiseDBm = -90
+
+	merged := Merge([]Record{base}, []Record{diffRate, diffChan, diffBytes, trueDup})
+	if len(merged) != 4 {
+		t.Errorf("merged %d records, want 4 (only the true duplicate collapses)", len(merged))
+	}
+}
+
 func TestMergeEmpty(t *testing.T) {
 	if got := Merge(); len(got) != 0 {
 		t.Error("empty merge must be empty")
@@ -180,5 +232,33 @@ func TestSplitByChannel(t *testing.T) {
 	m := SplitByChannel(recs)
 	if len(m[phy.Channel1]) != 2 || len(m[phy.Channel6]) != 1 {
 		t.Errorf("split: %d/%d", len(m[phy.Channel1]), len(m[phy.Channel6]))
+	}
+}
+
+// TestSplitByChannelPreservesOrder: each channel's slice keeps the
+// records in input order — the streaming analyzer's per-channel feed
+// relies on it.
+func TestSplitByChannelPreservesOrder(t *testing.T) {
+	var recs []Record
+	for i := 0; i < 20; i++ {
+		ch := phy.Channel1
+		if i%3 == 0 {
+			ch = phy.Channel6
+		}
+		recs = append(recs, testRecord(phy.Micros(1000-i), ch, byte(i)))
+	}
+	m := SplitByChannel(recs)
+	for ch, part := range m {
+		last := -1
+		for _, r := range part {
+			i := int(r.Frame[len(r.Frame)-1])
+			if i <= last {
+				t.Fatalf("channel %v order broken: %d after %d", ch, i, last)
+			}
+			last = i
+		}
+	}
+	if len(m[phy.Channel6])+len(m[phy.Channel1]) != len(recs) {
+		t.Error("records lost in split")
 	}
 }

@@ -1,431 +1,124 @@
+// Package core is the compatibility surface of the original batch
+// analyzer. The analysis itself — the single-pass streaming metric
+// pipeline — lives in package analysis, which is the canonical entry
+// point; core re-exports its types and primitives so long-standing
+// callers (and the beacon-reliability companion metric below in
+// reliability.go) keep working unchanged.
 package core
 
 import (
-	"sort"
-
+	"wlan80211/internal/analysis"
 	"wlan80211/internal/capture"
-	"wlan80211/internal/dot11"
 	"wlan80211/internal/phy"
-	"wlan80211/internal/stats"
 )
 
-// AckMatchWindow is the maximum gap between the end of a data frame
-// and the start of its ACK for the pair to be considered a DATA–ACK
-// exchange (SIFS plus scheduling slack).
-const AckMatchWindow phy.Micros = 6 * DelaySIFS
+// Re-exported analysis types. Result and its components are aliases,
+// so a core.Result is an analysis.Result and vice versa.
+type (
+	// Result is the full analysis of a trace.
+	Result = analysis.Result
+	// SecondStat is one second of one channel.
+	SecondStat = analysis.SecondStat
+	// UnrecordedStats aggregates Equation 1's inputs.
+	UnrecordedStats = analysis.UnrecordedStats
+	// UserPoint is one 30-second associated-user sample (Figure 4b).
+	UserPoint = analysis.UserPoint
+	// APReport holds per-AP traffic and unrecorded estimates.
+	APReport = analysis.APReport
+	// APStat is one AP's counters.
+	APStat = analysis.APStat
+	// SizeClass is one of the paper's four frame-size classes (Sec 6).
+	SizeClass = analysis.SizeClass
+	// Category is one of the 16 size×rate frame categories.
+	Category = analysis.Category
+	// Class is a congestion class (Sec 5.3).
+	Class = analysis.Class
+	// Classifier maps utilization percentages to congestion classes.
+	Classifier = analysis.Classifier
+	// BeaconReliability is the per-AP beacon reception ratio metric
+	// (the E-WIND companion paper's congestion signal).
+	BeaconReliability = analysis.BeaconReliability
+	// ReliabilityPoint is one window of one AP's beacon reliability.
+	ReliabilityPoint = analysis.ReliabilityPoint
+)
 
-// SecondStat is one second of one channel, the unit of the paper's
-// analysis.
-type SecondStat struct {
-	// Second is the interval index (seconds from trace epoch).
-	Second int64
-	// Channel the statistics belong to.
-	Channel phy.Channel
-	// CBT is the summed channel busy-time (Equation 7).
-	CBT phy.Micros
-	// Utilization is Equation 8's percentage for this second.
-	Utilization int
-	// ThroughputMbps counts bits of all captured frames.
-	ThroughputMbps float64
-	// GoodputMbps counts bits of control frames and successfully
-	// acknowledged data frames.
-	GoodputMbps float64
-	// Frame counts by type.
-	Data, RTS, CTS, ACK, Beacon int
+// Table 2 delay components and matching windows.
+const (
+	DelayDIFS   = analysis.DelayDIFS
+	DelaySIFS   = analysis.DelaySIFS
+	DelayRTS    = analysis.DelayRTS
+	DelayCTS    = analysis.DelayCTS
+	DelayACK    = analysis.DelayACK
+	DelayBeacon = analysis.DelayBeacon
+	DelayBO     = analysis.DelayBO
+	DelayPLCP   = analysis.DelayPLCP
+
+	// AckMatchWindow is the maximum DATA-end→ACK-start gap of a
+	// captured DATA–ACK exchange.
+	AckMatchWindow = analysis.AckMatchWindow
+	// UserWindowSeconds is the averaging window of Figure 4b.
+	UserWindowSeconds = analysis.UserWindowSeconds
+)
+
+// The four size classes.
+const (
+	SizeS  = analysis.SizeS
+	SizeM  = analysis.SizeM
+	SizeL  = analysis.SizeL
+	SizeXL = analysis.SizeXL
+)
+
+// The three congestion classes.
+const (
+	Uncongested = analysis.Uncongested
+	Moderate    = analysis.Moderate
+	High        = analysis.High
+)
+
+// Analyze runs the full pipeline over a merged trace. It is a thin
+// wrapper over the streaming analysis package: records are fed per
+// channel in time order through every registered metric stage.
+func Analyze(recs []capture.Record) *Result { return analysis.Analyze(recs) }
+
+// DataDelay is the paper's DDATA(size)(rate) formula (Table 2).
+func DataDelay(sizeBytes int, r phy.Rate) phy.Micros { return analysis.DataDelay(sizeBytes, r) }
+
+// CBTData is Equation 2: busy-time for a data frame.
+func CBTData(sizeBytes int, r phy.Rate) phy.Micros { return analysis.CBTData(sizeBytes, r) }
+
+// CBTRTS is Equation 3: busy-time for an RTS frame.
+func CBTRTS() phy.Micros { return analysis.CBTRTS() }
+
+// CBTCTS is Equation 4: busy-time for a CTS frame.
+func CBTCTS() phy.Micros { return analysis.CBTCTS() }
+
+// CBTACK is Equation 5: busy-time for an ACK frame.
+func CBTACK() phy.Micros { return analysis.CBTACK() }
+
+// CBTBeacon is Equation 6: busy-time for a beacon.
+func CBTBeacon() phy.Micros { return analysis.CBTBeacon() }
+
+// UtilizationPercent is Equation 8, clamped to 0..100.
+func UtilizationPercent(cbtTotal phy.Micros) int { return analysis.UtilizationPercent(cbtTotal) }
+
+// SizeClassOf buckets a wire frame length (bytes, FCS included).
+func SizeClassOf(wireLen int) SizeClass { return analysis.SizeClassOf(wireLen) }
+
+// CategoryOf builds the category of a frame.
+func CategoryOf(wireLen int, r phy.Rate) Category { return analysis.CategoryOf(wireLen, r) }
+
+// CategoryFromIndex is the inverse of Category.Index.
+func CategoryFromIndex(i int) Category { return analysis.CategoryFromIndex(i) }
+
+// AllCategories lists the 16 categories in Index order.
+func AllCategories() []Category { return analysis.AllCategories() }
+
+// PaperClassifier returns the thresholds the paper derives for the
+// IETF network: 30% and 84%.
+func PaperClassifier() Classifier { return analysis.PaperClassifier() }
+
+// MeasureBeaconReliability scans a trace for beacons and computes the
+// per-AP reception ratio over windows of the given length.
+func MeasureBeaconReliability(recs []capture.Record, windowSeconds int) *BeaconReliability {
+	return analysis.MeasureBeaconReliability(recs, windowSeconds)
 }
-
-// Result is the full analysis of a trace.
-type Result struct {
-	// PerChannel holds the per-second time series (Figures 5a/5b).
-	PerChannel map[phy.Channel][]SecondStat
-	// UtilHist is the utilization frequency histogram (Figure 5c),
-	// one count per channel-second.
-	UtilHist *stats.Histogram
-
-	// Figure 6.
-	Throughput stats.ByUtilization // Mbps samples keyed by utilization
-	Goodput    stats.ByUtilization
-
-	// Figure 7: RTS and CTS frames per second.
-	RTSPerSec stats.ByUtilization
-	CTSPerSec stats.ByUtilization
-
-	// Figure 8: per-rate channel busy-time (seconds of each second).
-	BusyTimePerRate [4]stats.ByUtilization
-	// Figure 9: per-rate bytes per second.
-	BytesPerRate [4]stats.ByUtilization
-
-	// Figures 10–13: data-frame transmissions per second for each of
-	// the 16 size×rate categories.
-	TxPerCategory [16]stats.ByUtilization
-
-	// Figure 14: data frames acknowledged at first attempt, per rate.
-	FirstAckPerRate [4]stats.ByUtilization
-
-	// Figure 15: acceptance delay (seconds) per category.
-	AcceptDelay [16]stats.ByUtilization
-
-	// Figure 4: per-AP traffic and unrecorded estimation, user counts.
-	APs   APReport
-	Users []UserPoint
-
-	// Unrecorded aggregates the atomicity-based estimators (Sec 4.4).
-	Unrecorded UnrecordedStats
-
-	// TotalFrames is the number of records analyzed.
-	TotalFrames int64
-	// ParseErrors counts records whose MAC frame failed to parse.
-	ParseErrors int64
-}
-
-// UnrecordedStats aggregates Equation 1's inputs.
-type UnrecordedStats struct {
-	// MissingData counts ACKs whose soliciting DATA was not captured.
-	MissingData int64
-	// MissingRTS counts CTSs whose soliciting RTS was not captured.
-	MissingRTS int64
-	// MissingCTS counts RTS→DATA exchanges whose CTS was not captured.
-	MissingCTS int64
-	// Captured is the total captured frame count.
-	Captured int64
-}
-
-// Total returns the estimated number of unrecorded frames.
-func (u UnrecordedStats) Total() int64 {
-	return u.MissingData + u.MissingRTS + u.MissingCTS
-}
-
-// Percent is Equation 1: unrecorded/(unrecorded+captured) × 100.
-func (u UnrecordedStats) Percent() float64 {
-	t := u.Total()
-	if t+u.Captured == 0 {
-		return 0
-	}
-	return 100 * float64(t) / float64(t+u.Captured)
-}
-
-// UserPoint is one 30-second sample of the associated-user estimate
-// (Figure 4b counts distinct active client addresses per window).
-type UserPoint struct {
-	// WindowStart is the window's first second.
-	WindowStart int64
-	// Users is the number of distinct client addresses observed.
-	Users int
-}
-
-// UserWindowSeconds is the averaging window of Figure 4b.
-const UserWindowSeconds = 30
-
-// Analyze runs the full pipeline over a merged trace. Records are
-// processed per channel in time order.
-func Analyze(recs []capture.Record) *Result {
-	r := &Result{
-		PerChannel: make(map[phy.Channel][]SecondStat),
-		UtilHist:   stats.NewHistogram(101),
-	}
-	byCh := capture.SplitByChannel(recs)
-
-	// Pass 1: discover AP addresses (beacon transmitters and FromDS
-	// BSSIDs) so user counting and attribution can tell APs from
-	// clients.
-	aps := discoverAPs(recs)
-	r.APs.init(aps)
-
-	channels := make([]phy.Channel, 0, len(byCh))
-	for ch := range byCh {
-		channels = append(channels, ch)
-	}
-	sort.Slice(channels, func(i, j int) bool { return channels[i] < channels[j] })
-
-	users := newUserCounter(aps)
-	for _, ch := range channels {
-		chRecs := byCh[ch]
-		sort.SliceStable(chRecs, func(i, j int) bool { return chRecs[i].Time < chRecs[j].Time })
-		r.analyzeChannel(ch, chRecs, users)
-	}
-	r.Users = users.series()
-	return r
-}
-
-// discoverAPs returns the set of access point addresses: beacon
-// sources plus BSSIDs seen in FromDS data frames.
-func discoverAPs(recs []capture.Record) map[dot11.Addr]bool {
-	aps := make(map[dot11.Addr]bool)
-	for i := range recs {
-		p, err := dot11.Parse(recs[i].Frame)
-		if err != nil {
-			continue
-		}
-		switch f := p.Frame.(type) {
-		case *dot11.Beacon:
-			aps[f.SA] = true
-		case *dot11.Data:
-			if f.FC.FromDS && !f.FC.ToDS {
-				aps[f.Addr2] = true
-			}
-		}
-	}
-	return aps
-}
-
-// pendingData tracks the most recent unicast data frame awaiting its
-// ACK in the trace.
-type pendingData struct {
-	valid    bool
-	ta       dot11.Addr
-	end      phy.Micros // transmission end time
-	rate     phy.Rate
-	wireLen  int
-	retry    bool
-	second   int64
-	firstTry phy.Micros // first attempt time of this MSDU (for delay)
-	seqKey   uint64     // addrSeqKey(ta, seq) of the MSDU
-}
-
-// pendingRTS tracks the most recent RTS awaiting CTS/DATA.
-type pendingRTS struct {
-	valid  bool
-	ta, ra dot11.Addr
-	end    phy.Micros
-	sawCTS bool
-}
-
-// secondAccum accumulates one second of one channel.
-type secondAccum struct {
-	stat           SecondStat
-	cbtPerRate     [4]phy.Micros
-	bytesPerRate   [4]int64
-	txPerCat       [16]int
-	firstAck       [4]int
-	throughputBits int64
-	goodputBits    int64
-	delays         []delaySample
-}
-
-type delaySample struct {
-	cat   int
-	delay float64 // seconds
-}
-
-// analyzeChannel walks one channel's records in time order.
-func (r *Result) analyzeChannel(ch phy.Channel, recs []capture.Record, users *userCounter) {
-	if len(recs) == 0 {
-		return
-	}
-	var acc secondAccum
-	acc.stat = SecondStat{Second: recs[0].Second(), Channel: ch}
-
-	var pend pendingData
-	var prts pendingRTS
-	firstSeen := make(map[uint64]phy.Micros) // (ta,seq) → first attempt time
-
-	flush := func() {
-		s := &acc.stat
-		s.Utilization = UtilizationPercent(s.CBT)
-		s.ThroughputMbps = float64(acc.throughputBits) / 1e6
-		s.GoodputMbps = float64(acc.goodputBits) / 1e6
-		r.PerChannel[ch] = append(r.PerChannel[ch], *s)
-		r.UtilHist.Add(s.Utilization)
-		u := s.Utilization
-		r.Throughput.Add(u, s.ThroughputMbps)
-		r.Goodput.Add(u, s.GoodputMbps)
-		r.RTSPerSec.Add(u, float64(s.RTS))
-		r.CTSPerSec.Add(u, float64(s.CTS))
-		for i := 0; i < 4; i++ {
-			r.BusyTimePerRate[i].Add(u, float64(acc.cbtPerRate[i])/1e6)
-			r.BytesPerRate[i].Add(u, float64(acc.bytesPerRate[i]))
-			r.FirstAckPerRate[i].Add(u, float64(acc.firstAck[i]))
-		}
-		for i := 0; i < 16; i++ {
-			r.TxPerCategory[i].Add(u, float64(acc.txPerCat[i]))
-		}
-		for _, d := range acc.delays {
-			r.AcceptDelay[d.cat].Add(u, d.delay)
-		}
-	}
-
-	for i := range recs {
-		rec := &recs[i]
-		sec := rec.Second()
-		// Flush any completed seconds (emitting empty seconds too, so
-		// the Figure 5 time series is gap-free).
-		for acc.stat.Second < sec {
-			flush()
-			next := acc.stat.Second + 1
-			acc = secondAccum{}
-			acc.stat = SecondStat{Second: next, Channel: ch}
-		}
-
-		r.TotalFrames++
-		r.Unrecorded.Captured++
-		p, err := dot11.Parse(rec.Frame)
-		if err != nil {
-			r.ParseErrors++
-			continue
-		}
-		users.observe(rec.Time, p)
-		r.APs.observe(p)
-		acc.throughputBits += int64(rec.OrigLen) * 8
-
-		switch f := p.Frame.(type) {
-		case *dot11.Data:
-			r.handleData(rec, f, &acc, &pend, &prts, firstSeen)
-		case *dot11.ACK:
-			r.handleACK(rec, f, &acc, &pend, firstSeen)
-		case *dot11.RTS:
-			acc.stat.RTS++
-			acc.stat.CBT += CBTRTS()
-			r.addRateCBT(&acc, rec, CBTRTS())
-			acc.goodputBits += int64(rec.OrigLen) * 8
-			prts = pendingRTS{valid: true, ta: f.TA, ra: f.RA, end: rec.Time + phy.Airtime(rec.OrigLen, rec.Rate)}
-			pend.valid = false
-		case *dot11.CTS:
-			acc.stat.CTS++
-			acc.stat.CBT += CBTCTS()
-			r.addRateCBT(&acc, rec, CBTCTS())
-			acc.goodputBits += int64(rec.OrigLen) * 8
-			// RTS–CTS atomicity: a CTS must follow a captured RTS
-			// whose transmitter it addresses.
-			if prts.valid && prts.ta == f.RA && rec.Time-prts.end <= AckMatchWindow {
-				prts.sawCTS = true
-			} else {
-				r.Unrecorded.MissingRTS++
-				r.APs.attributeUnrecorded(f.RA)
-				// Synthesize the pending RTS so a following DATA is
-				// not also charged a missing CTS.
-				prts = pendingRTS{valid: true, ta: f.RA, end: rec.Time + phy.Airtime(rec.OrigLen, rec.Rate), sawCTS: true}
-			}
-			pend.valid = false
-		case *dot11.Beacon:
-			acc.stat.Beacon++
-			acc.stat.CBT += CBTBeacon()
-			r.addRateCBT(&acc, rec, CBTBeacon())
-			acc.goodputBits += int64(rec.OrigLen) * 8
-			pend.valid = false
-		case *dot11.Management:
-			// Other management frames are charged like data frames.
-			acc.stat.CBT += CBTData(rec.OrigLen, rec.Rate)
-			r.addRateCBT(&acc, rec, CBTData(rec.OrigLen, rec.Rate))
-			acc.goodputBits += int64(rec.OrigLen) * 8
-			pend.valid = false
-		}
-		if _, ok := p.Frame.(*dot11.Data); !ok {
-			if _, isCTS := p.Frame.(*dot11.CTS); !isCTS {
-				// An RTS exchange is broken by any frame other than
-				// its CTS or DATA.
-				if _, isRTS := p.Frame.(*dot11.RTS); !isRTS {
-					prts.valid = false
-				}
-			}
-		}
-		acc.bytesPerRate[rateIdx(rec.Rate)] += int64(rec.OrigLen)
-	}
-	flush()
-}
-
-// handleData processes a captured data frame.
-func (r *Result) handleData(rec *capture.Record, f *dot11.Data, acc *secondAccum,
-	pend *pendingData, prts *pendingRTS, firstSeen map[uint64]phy.Micros) {
-
-	acc.stat.Data++
-	cbt := CBTData(rec.OrigLen, rec.Rate)
-	acc.stat.CBT += cbt
-	r.addRateCBT(acc, rec, cbt)
-	if ci, ok := CategoryOf(rec.OrigLen, rec.Rate).Index(); ok {
-		acc.txPerCat[ci]++
-	}
-
-	// RTS–CTS–DATA atomicity: a DATA completing an RTS exchange whose
-	// CTS was never captured implies an unrecorded CTS.
-	if prts.valid && prts.ta == f.Addr2 {
-		if !prts.sawCTS {
-			r.Unrecorded.MissingCTS++
-			r.APs.attributeUnrecorded(prts.ra)
-		}
-		prts.valid = false
-	}
-
-	if !f.Addr1.IsGroup() {
-		end := rec.Time + phy.Airtime(rec.OrigLen, rec.Rate)
-		key := addrSeqKey(f.Addr2, f.Seq.Num)
-		first, ok := firstSeen[key]
-		if !ok || rec.Time-first > 2*phy.MicrosPerSecond {
-			first = rec.Time
-			firstSeen[key] = first
-		}
-		*pend = pendingData{
-			valid:    true,
-			ta:       f.Addr2,
-			end:      end,
-			rate:     rec.Rate,
-			wireLen:  rec.OrigLen,
-			retry:    f.FC.Retry,
-			second:   rec.Second(),
-			firstTry: first,
-			seqKey:   key,
-		}
-	} else {
-		// Group-addressed data needs no ACK and counts as goodput.
-		acc.goodputBits += int64(rec.OrigLen) * 8
-		pend.valid = false
-	}
-}
-
-// handleACK processes a captured ACK frame.
-func (r *Result) handleACK(rec *capture.Record, f *dot11.ACK, acc *secondAccum,
-	pend *pendingData, firstSeen map[uint64]phy.Micros) {
-
-	acc.stat.ACK++
-	acc.stat.CBT += CBTACK()
-	r.addRateCBT(acc, rec, CBTACK())
-	acc.goodputBits += int64(rec.OrigLen) * 8
-
-	// DATA–ACK atomicity (Sec 4.4): an ACK must follow its DATA; the
-	// ACK's receiver is the DATA's transmitter.
-	if pend.valid && pend.ta == f.RA && rec.Time-pend.end <= AckMatchWindow {
-		// Successful acknowledgment: goodput and reception stats.
-		acc.goodputBits += int64(pend.wireLen) * 8
-		if !pend.retry {
-			acc.firstAck[rateIdx(pend.rate)]++
-		}
-		// Acceptance delay: first attempt → this ACK.
-		key := addrSeqKeyFromPending(pend)
-		if first, ok := firstSeen[key]; ok {
-			d := float64(rec.Time-first) / 1e6
-			if ci, okc := CategoryOf(pend.wireLen, pend.rate).Index(); okc && d >= 0 {
-				acc.delays = append(acc.delays, delaySample{cat: ci, delay: d})
-			}
-			delete(firstSeen, key)
-		}
-	} else {
-		r.Unrecorded.MissingData++
-		r.APs.attributeUnrecorded(f.RA)
-	}
-	pend.valid = false
-}
-
-// addRateCBT attributes a frame's CBT to its transmission rate bucket
-// (Figure 8).
-func (r *Result) addRateCBT(acc *secondAccum, rec *capture.Record, cbt phy.Micros) {
-	acc.cbtPerRate[rateIdx(rec.Rate)] += cbt
-}
-
-// rateIdx maps a rate to 0..3, defaulting to 0 (1 Mbps) for invalid
-// metadata.
-func rateIdx(r phy.Rate) int {
-	if i, ok := r.Index(); ok {
-		return i
-	}
-	return 0
-}
-
-// addrSeqKey packs a transmitter address and sequence number.
-func addrSeqKey(a dot11.Addr, seq uint16) uint64 {
-	var v uint64
-	for _, b := range a {
-		v = v<<8 | uint64(b)
-	}
-	return v<<12 | uint64(seq&0xfff)
-}
-
-func addrSeqKeyFromPending(p *pendingData) uint64 { return p.seqKey }

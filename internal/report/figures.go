@@ -3,12 +3,12 @@ package report
 import (
 	"fmt"
 
-	"wlan80211/internal/core"
+	"wlan80211/internal/analysis"
 	"wlan80211/internal/phy"
 	"wlan80211/internal/stats"
 )
 
-// This file turns a core.Result into the paper's tables and figures.
+// This file turns a analysis.Result into the paper's tables and figures.
 // Scatter figures (6–15) are emitted as rows of utilization bands
 // (5-point buckets over the paper's 30–99% range) so text output stays
 // readable; the underlying per-percent data is available from the
@@ -50,20 +50,20 @@ func bandRow(t *Table, band [2]int, cols []*stats.ByUtilization) {
 // as much as a table).
 func Table2() *Table {
 	t := NewTable("Table 2: delay components (µs)", "component", "delay")
-	t.AddRow("DIFS", int64(core.DelayDIFS))
-	t.AddRow("SIFS", int64(core.DelaySIFS))
-	t.AddRow("RTS", int64(core.DelayRTS))
-	t.AddRow("CTS", int64(core.DelayCTS))
-	t.AddRow("ACK", int64(core.DelayACK))
-	t.AddRow("BEACON", int64(core.DelayBeacon))
-	t.AddRow("BO", int64(core.DelayBO))
-	t.AddRow("PLCP", int64(core.DelayPLCP))
-	t.AddRow("DATA(1000B, 11Mbps)", int64(core.DataDelay(1000, phy.Rate11Mbps)))
+	t.AddRow("DIFS", int64(analysis.DelayDIFS))
+	t.AddRow("SIFS", int64(analysis.DelaySIFS))
+	t.AddRow("RTS", int64(analysis.DelayRTS))
+	t.AddRow("CTS", int64(analysis.DelayCTS))
+	t.AddRow("ACK", int64(analysis.DelayACK))
+	t.AddRow("BEACON", int64(analysis.DelayBeacon))
+	t.AddRow("BO", int64(analysis.DelayBO))
+	t.AddRow("PLCP", int64(analysis.DelayPLCP))
+	t.AddRow("DATA(1000B, 11Mbps)", int64(analysis.DataDelay(1000, phy.Rate11Mbps)))
 	return t
 }
 
 // Figure4a renders per-AP frame counts for the topN most active APs.
-func Figure4a(r *core.Result, topN int) *Table {
+func Figure4a(r *analysis.Result, topN int) *Table {
 	t := NewTable("Figure 4(a): frames sent+received by most active APs",
 		"rank", "ap", "frames")
 	for i, s := range r.APs.TopN(topN) {
@@ -73,7 +73,7 @@ func Figure4a(r *core.Result, topN int) *Table {
 }
 
 // Figure4b renders the associated-user estimate per 30 s window.
-func Figure4b(r *core.Result) *Table {
+func Figure4b(r *analysis.Result) *Table {
 	t := NewTable("Figure 4(b): users per 30 s window", "window_start_s", "users")
 	for _, u := range r.Users {
 		t.AddRow(u.WindowStart, u.Users)
@@ -82,7 +82,7 @@ func Figure4b(r *core.Result) *Table {
 }
 
 // Figure4c renders per-AP unrecorded percentages for the topN APs.
-func Figure4c(r *core.Result, topN int) *Table {
+func Figure4c(r *analysis.Result, topN int) *Table {
 	t := NewTable("Figure 4(c): unrecorded frame percentage per AP",
 		"rank", "ap", "frames", "unrecorded", "unrecorded_pct")
 	for i, s := range r.APs.TopN(topN) {
@@ -93,7 +93,7 @@ func Figure4c(r *core.Result, topN int) *Table {
 
 // Figure5 renders the per-channel utilization time series as
 // sparklines plus summary statistics.
-func Figure5(r *core.Result) *Table {
+func Figure5(r *analysis.Result) *Table {
 	t := NewTable("Figure 5(a/b): per-channel utilization time series",
 		"channel", "seconds", "mean_util", "sparkline")
 	for _, ch := range []phy.Channel{phy.Channel1, phy.Channel6, phy.Channel11} {
@@ -114,7 +114,7 @@ func Figure5(r *core.Result) *Table {
 
 // Figure5c renders the utilization frequency histogram in 10-point
 // buckets, with the mode called out.
-func Figure5c(r *core.Result) *Table {
+func Figure5c(r *analysis.Result) *Table {
 	t := NewTable("Figure 5(c): utilization frequency", "utilization", "seconds")
 	for lo := 0; lo <= 100; lo += 10 {
 		var c int64
@@ -133,7 +133,7 @@ func Figure5c(r *core.Result) *Table {
 }
 
 // Figure6 renders throughput and goodput versus utilization.
-func Figure6(r *core.Result) *Table {
+func Figure6(r *analysis.Result) *Table {
 	t := NewTable("Figure 6: throughput and goodput vs utilization",
 		"utilization", "throughput_mbps", "goodput_mbps")
 	for _, b := range FigureBands() {
@@ -143,7 +143,7 @@ func Figure6(r *core.Result) *Table {
 }
 
 // Figure7 renders RTS and CTS frames per second versus utilization.
-func Figure7(r *core.Result) *Table {
+func Figure7(r *analysis.Result) *Table {
 	t := NewTable("Figure 7: RTS/CTS frames per second vs utilization",
 		"utilization", "rts_per_s", "cts_per_s")
 	for _, b := range FigureBands() {
@@ -153,7 +153,7 @@ func Figure7(r *core.Result) *Table {
 }
 
 // Figure8 renders the channel busy-time share of each rate.
-func Figure8(r *core.Result) *Table {
+func Figure8(r *analysis.Result) *Table {
 	t := NewTable("Figure 8: channel busy-time (s) per rate vs utilization",
 		"utilization", "1mbps", "2mbps", "5.5mbps", "11mbps")
 	for _, b := range FigureBands() {
@@ -166,7 +166,7 @@ func Figure8(r *core.Result) *Table {
 }
 
 // Figure9 renders bytes per second at each rate.
-func Figure9(r *core.Result) *Table {
+func Figure9(r *analysis.Result) *Table {
 	t := NewTable("Figure 9: bytes per second per rate vs utilization",
 		"utilization", "1mbps", "2mbps", "5.5mbps", "11mbps")
 	for _, b := range FigureBands() {
@@ -180,13 +180,13 @@ func Figure9(r *core.Result) *Table {
 
 // figureSizeAcrossRates renders one size class's tx/s per rate
 // (Figures 10 and 11).
-func figureSizeAcrossRates(r *core.Result, title string, size core.SizeClass) *Table {
+func figureSizeAcrossRates(r *analysis.Result, title string, size analysis.SizeClass) *Table {
 	t := NewTable(title, "utilization",
 		fmt.Sprintf("%s-1", size), fmt.Sprintf("%s-2", size),
 		fmt.Sprintf("%s-5.5", size), fmt.Sprintf("%s-11", size))
 	cols := make([]*stats.ByUtilization, 4)
 	for i, rt := range phy.Rates {
-		ci, _ := core.Category{Size: size, Rate: rt}.Index()
+		ci, _ := analysis.Category{Size: size, Rate: rt}.Index()
 		cols[i] = &r.TxPerCategory[ci]
 	}
 	for _, b := range FigureBands() {
@@ -196,23 +196,23 @@ func figureSizeAcrossRates(r *core.Result, title string, size core.SizeClass) *T
 }
 
 // Figure10 renders small-frame transmissions per second per rate.
-func Figure10(r *core.Result) *Table {
-	return figureSizeAcrossRates(r, "Figure 10: S-frame tx/s per rate vs utilization", core.SizeS)
+func Figure10(r *analysis.Result) *Table {
+	return figureSizeAcrossRates(r, "Figure 10: S-frame tx/s per rate vs utilization", analysis.SizeS)
 }
 
 // Figure11 renders extra-large-frame transmissions per second per rate.
-func Figure11(r *core.Result) *Table {
-	return figureSizeAcrossRates(r, "Figure 11: XL-frame tx/s per rate vs utilization", core.SizeXL)
+func Figure11(r *analysis.Result) *Table {
+	return figureSizeAcrossRates(r, "Figure 11: XL-frame tx/s per rate vs utilization", analysis.SizeXL)
 }
 
 // figureRateAcrossSizes renders one rate's tx/s per size class
 // (Figures 12 and 13).
-func figureRateAcrossSizes(r *core.Result, title string, rt phy.Rate) *Table {
+func figureRateAcrossSizes(r *analysis.Result, title string, rt phy.Rate) *Table {
 	suffix := map[phy.Rate]string{phy.Rate1Mbps: "1", phy.Rate2Mbps: "2", phy.Rate5_5Mbps: "5.5", phy.Rate11Mbps: "11"}[rt]
 	t := NewTable(title, "utilization", "S-"+suffix, "M-"+suffix, "L-"+suffix, "XL-"+suffix)
 	cols := make([]*stats.ByUtilization, 4)
 	for i := 0; i < 4; i++ {
-		ci, _ := core.Category{Size: core.SizeClass(i), Rate: rt}.Index()
+		ci, _ := analysis.Category{Size: analysis.SizeClass(i), Rate: rt}.Index()
 		cols[i] = &r.TxPerCategory[ci]
 	}
 	for _, b := range FigureBands() {
@@ -222,17 +222,17 @@ func figureRateAcrossSizes(r *core.Result, title string, rt phy.Rate) *Table {
 }
 
 // Figure12 renders 1 Mbps transmissions per second per size class.
-func Figure12(r *core.Result) *Table {
+func Figure12(r *analysis.Result) *Table {
 	return figureRateAcrossSizes(r, "Figure 12: 1 Mbps tx/s per size class vs utilization", phy.Rate1Mbps)
 }
 
 // Figure13 renders 11 Mbps transmissions per second per size class.
-func Figure13(r *core.Result) *Table {
+func Figure13(r *analysis.Result) *Table {
 	return figureRateAcrossSizes(r, "Figure 13: 11 Mbps tx/s per size class vs utilization", phy.Rate11Mbps)
 }
 
 // Figure14 renders first-attempt acknowledgments per second per rate.
-func Figure14(r *core.Result) *Table {
+func Figure14(r *analysis.Result) *Table {
 	t := NewTable("Figure 14: first-attempt acked frames/s per rate vs utilization",
 		"utilization", "1mbps", "2mbps", "5.5mbps", "11mbps")
 	for _, b := range FigureBands() {
@@ -246,16 +246,16 @@ func Figure14(r *core.Result) *Table {
 
 // Figure15 renders acceptance delay for the four categories the paper
 // plots: S-1, XL-1, S-11, XL-11.
-func Figure15(r *core.Result) *Table {
+func Figure15(r *analysis.Result) *Table {
 	t := NewTable("Figure 15: acceptance delay (s) vs utilization",
 		"utilization", "S-1", "XL-1", "S-11", "XL-11")
-	idx := func(size core.SizeClass, rt phy.Rate) *stats.ByUtilization {
-		ci, _ := core.Category{Size: size, Rate: rt}.Index()
+	idx := func(size analysis.SizeClass, rt phy.Rate) *stats.ByUtilization {
+		ci, _ := analysis.Category{Size: size, Rate: rt}.Index()
 		return &r.AcceptDelay[ci]
 	}
 	cols := []*stats.ByUtilization{
-		idx(core.SizeS, phy.Rate1Mbps), idx(core.SizeXL, phy.Rate1Mbps),
-		idx(core.SizeS, phy.Rate11Mbps), idx(core.SizeXL, phy.Rate11Mbps),
+		idx(analysis.SizeS, phy.Rate1Mbps), idx(analysis.SizeXL, phy.Rate1Mbps),
+		idx(analysis.SizeS, phy.Rate11Mbps), idx(analysis.SizeXL, phy.Rate11Mbps),
 	}
 	for _, b := range FigureBands() {
 		bandRow(t, b, cols)
@@ -265,7 +265,7 @@ func Figure15(r *core.Result) *Table {
 
 // Summary renders headline numbers: totals, unrecorded estimate,
 // derived congestion thresholds, class shares.
-func Summary(r *core.Result) *Table {
+func Summary(r *analysis.Result) *Table {
 	t := NewTable("Summary", "metric", "value")
 	t.AddRow("frames analyzed", r.TotalFrames)
 	t.AddRow("parse errors", r.ParseErrors)
@@ -275,15 +275,15 @@ func Summary(r *core.Result) *Table {
 	c := r.DeriveClassifier()
 	t.AddRow("congestion knee (throughput peak)", c.Knee)
 	shares := r.ClassShare(c)
-	t.AddRow("share uncongested", shares[core.Uncongested])
-	t.AddRow("share moderately congested", shares[core.Moderate])
-	t.AddRow("share highly congested", shares[core.High])
+	t.AddRow("share uncongested", shares[analysis.Uncongested])
+	t.AddRow("share moderately congested", shares[analysis.Moderate])
+	t.AddRow("share highly congested", shares[analysis.High])
 	return t
 }
 
 // AllFigures returns every table/figure in paper order, for the
 // end-to-end reproduction command.
-func AllFigures(r *core.Result) []*Table {
+func AllFigures(r *analysis.Result) []*Table {
 	return []*Table{
 		Summary(r),
 		Table2(),
@@ -306,8 +306,8 @@ func AllFigures(r *core.Result) []*Table {
 }
 
 // Reliability renders the E-WIND beacon-reliability metric per AP
-// (companion analysis; see core.MeasureBeaconReliability).
-func Reliability(rel *core.BeaconReliability) *Table {
+// (companion analysis; see analysis.MeasureBeaconReliability).
+func Reliability(rel *analysis.BeaconReliability) *Table {
 	t := NewTable(
 		fmt.Sprintf("Beacon reliability per AP (%d s windows)", rel.WindowSeconds),
 		"ap", "windows", "mean_ratio", "sparkline")

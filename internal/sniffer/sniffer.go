@@ -9,6 +9,7 @@
 package sniffer
 
 import (
+	"math"
 	"math/rand"
 
 	"wlan80211/internal/capture"
@@ -191,9 +192,9 @@ func clampDBm(v float64) int8 {
 }
 
 func dbmToMW(dbm float64) float64 {
-	return pow10(dbm / 10)
+	return math.Pow(10, dbm/10)
 }
 
 func mwToDBm(mw float64) float64 {
-	return 10 * log10(mw)
+	return 10 * math.Log10(mw)
 }

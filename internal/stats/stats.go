@@ -83,6 +83,25 @@ func (h *Histogram) Add(v int) {
 	h.n++
 }
 
+// Merge folds another histogram's counts in. Bins beyond h's range
+// are clamped into h's top bin, so the total count is preserved.
+func (h *Histogram) Merge(o *Histogram) {
+	if o == nil {
+		return
+	}
+	for v, c := range o.bins {
+		if c == 0 {
+			continue
+		}
+		i := v
+		if i >= len(h.bins) {
+			i = len(h.bins) - 1
+		}
+		h.bins[i] += c
+		h.n += c
+	}
+}
+
 // Count returns the count in bin v (0 if out of range).
 func (h *Histogram) Count(v int) int64 {
 	if v < 0 || v >= len(h.bins) {
@@ -167,6 +186,13 @@ func (b *ByUtilization) Add(u int, v float64) {
 		u = 100
 	}
 	b.cells[u].Add(v)
+}
+
+// Merge folds another aggregation in, cell by cell (parallel Welford).
+func (b *ByUtilization) Merge(o *ByUtilization) {
+	for u := range b.cells {
+		b.cells[u].Merge(o.cells[u])
+	}
 }
 
 // Mean returns the mean sample at utilization u and the number of

@@ -230,3 +230,53 @@ func TestNOver(t *testing.T) {
 		t.Error("NOver wrong")
 	}
 }
+
+// TestHistogramMerge: counts sum bin-wise, out-of-range bins clamp
+// into the top bin, and N stays consistent.
+func TestHistogramMerge(t *testing.T) {
+	a := NewHistogram(5)
+	a.Add(1)
+	a.Add(3)
+	b := NewHistogram(5)
+	b.Add(1)
+	b.Add(4)
+	a.Merge(b)
+	if a.N() != 4 || a.Count(1) != 2 || a.Count(3) != 1 || a.Count(4) != 1 {
+		t.Errorf("merged histogram wrong: %v (N=%d)", a.Bins(), a.N())
+	}
+	a.Merge(nil) // no-op
+	if a.N() != 4 {
+		t.Error("nil merge changed counts")
+	}
+	wide := NewHistogram(8)
+	wide.Add(7)
+	narrow := NewHistogram(5)
+	narrow.Merge(wide)
+	if narrow.Count(4) != 1 || narrow.N() != 1 {
+		t.Error("out-of-range bin must clamp into the top bin")
+	}
+}
+
+// TestByUtilizationMerge: merging per-shard aggregations equals the
+// Welford merge cell by cell.
+func TestByUtilizationMerge(t *testing.T) {
+	var a, b ByUtilization
+	a.Add(50, 1)
+	a.Add(50, 3)
+	a.Add(80, 10)
+	b.Add(50, 5)
+	b.Add(60, 7)
+	a.Merge(&b)
+	if m, n := a.Mean(50); n != 3 || m != 3 {
+		t.Errorf("cell 50: mean=%v n=%d, want 3,3", m, n)
+	}
+	if m, n := a.Mean(60); n != 1 || m != 7 {
+		t.Errorf("cell 60: mean=%v n=%d", m, n)
+	}
+	if m, n := a.Mean(80); n != 1 || m != 10 {
+		t.Errorf("cell 80: mean=%v n=%d", m, n)
+	}
+	if a.NOver(0, 100) != 5 {
+		t.Errorf("total n = %d, want 5", a.NOver(0, 100))
+	}
+}

@@ -2,8 +2,10 @@ package repro
 
 import (
 	"bytes"
+	"reflect"
 	"testing"
 
+	"wlan80211/internal/analysis"
 	"wlan80211/internal/capture"
 	"wlan80211/internal/core"
 	"wlan80211/internal/phy"
@@ -61,6 +63,46 @@ func TestEndToEndPcapRoundTrip(t *testing.T) {
 	lm, _ := viaDisk.UtilHist.Mode()
 	if dm != lm {
 		t.Errorf("modal utilization differs: %d vs %d", dm, lm)
+	}
+}
+
+// TestStreamingEquivalenceOnFixtures is the redesign's acceptance
+// gate at full fidelity: on the repro fixtures (the multi-channel day
+// session and the sweep ladder), feeding records incrementally through
+// the streaming pipeline — sequentially or sharded per channel across
+// goroutines — produces a Result identical to the batch entry point.
+func TestStreamingEquivalenceOnFixtures(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	for _, tc := range []struct {
+		name  string
+		trace []capture.Record
+	}{{"day", day()}, {"sweep", sweep()}} {
+		t.Run(tc.name, func(t *testing.T) {
+			batch := core.Analyze(tc.trace)
+
+			a, err := analysis.New(analysis.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Feed in capture order (interleaved across channels), one
+			// record at a time, as a live merge would deliver them.
+			for _, r := range tc.trace {
+				a.Feed(r)
+			}
+			if streamed := a.Result(); !reflect.DeepEqual(batch, streamed) {
+				t.Error("incremental streaming result differs from batch")
+			}
+
+			parallel, err := analysis.AnalyzeWith(analysis.Options{Parallel: true}, tc.trace)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(batch, parallel) {
+				t.Error("parallel sharded result differs from batch")
+			}
+		})
 	}
 }
 
