@@ -10,7 +10,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"sort"
+	"slices"
 
 	"wlan80211/internal/pcapio"
 	"wlan80211/internal/phy"
@@ -172,11 +172,46 @@ func Merge(traces ...[]Record) []Record {
 	for _, t := range traces {
 		total += len(t)
 	}
-	out := make([]Record, 0, total)
+	merged := make([]Record, 0, total)
 	for _, t := range traces {
-		out = append(out, t...)
+		merged = append(merged, t...)
 	}
-	sort.SliceStable(out, func(i, j int) bool { return out[i].Time < out[j].Time })
+	// Sort indices, not 80-byte records; breaking ties by original
+	// position makes the unstable sort equivalent to a stable one.
+	idx := make([]int32, len(merged))
+	for i := range idx {
+		idx[i] = int32(i)
+	}
+	slices.SortFunc(idx, func(a, b int32) int {
+		ta, tb := merged[a].Time, merged[b].Time
+		switch {
+		case ta < tb:
+			return -1
+		case ta > tb:
+			return 1
+		}
+		return int(a - b)
+	})
+	// Apply the permutation in place by following its cycles (marking
+	// visited entries with -1), avoiding a second record buffer.
+	for i := range idx {
+		j := idx[i]
+		if j < 0 || int(j) == i {
+			idx[i] = -1
+			continue
+		}
+		tmp := merged[i]
+		k := i
+		for int(j) != i {
+			merged[k] = merged[j]
+			idx[k] = -1
+			k = int(j)
+			j = idx[k]
+		}
+		merged[k] = tmp
+		idx[k] = -1
+	}
+	out := merged
 	// Drop duplicates among equal-time runs.
 	dedup := out[:0]
 	for i, r := range out {

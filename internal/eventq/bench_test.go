@@ -1,0 +1,45 @@
+package eventq
+
+import (
+	"testing"
+
+	"wlan80211/internal/phy"
+)
+
+// BenchmarkEventQueue models the simulator's scheduling pattern: a
+// steady churn of schedule/fire with a fraction of events cancelled
+// before firing (ACK timeouts, paused backoff countdowns).
+func BenchmarkEventQueue(b *testing.B) {
+	b.ReportAllocs()
+	var q Queue
+	fn := func() {}
+	// Warm a realistic pending population.
+	for i := 0; i < 1024; i++ {
+		q.After(phy.Micros(i%97+1), fn)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := q.After(phy.Micros(i%131+1), fn)
+		if i%4 == 0 {
+			e.Cancel()
+		}
+		q.Step()
+	}
+}
+
+// BenchmarkEventQueueCancelHeavy stresses cancellation: every scheduled
+// event is cancelled, as happens to backoff countdowns on a busy
+// medium.
+func BenchmarkEventQueueCancelHeavy(b *testing.B) {
+	b.ReportAllocs()
+	var q Queue
+	fn := func() {}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := q.After(phy.Micros(i%53+1), fn)
+		e.Cancel()
+		if i%8 == 0 {
+			q.Step()
+		}
+	}
+}

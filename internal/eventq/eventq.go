@@ -2,73 +2,140 @@
 // 802.11b network simulator: a priority queue of timed callbacks on a
 // monotonic microsecond clock, with stable FIFO ordering for events
 // scheduled at the same instant and support for cancellation.
+//
+// The queue is built for the simulator's hot path: events live in a
+// slab indexed by a 4-ary heap, slots are recycled through a free
+// list, and cancellation removes the event from the heap eagerly, so
+// steady-state scheduling performs no per-event allocation and the
+// heap never accumulates dead entries.
 package eventq
 
 import (
-	"container/heap"
-
 	"wlan80211/internal/phy"
 )
 
-// Event is a scheduled callback.
-type Event struct {
-	at     phy.Micros
-	seq    uint64
-	fn     func()
-	index  int // heap index; -1 once popped or cancelled
-	cancel bool
+// slot states. A slot is pending while queued, then fired or
+// cancelled until its next reuse.
+const (
+	stateFree uint8 = iota
+	statePending
+	stateFired
+	stateCancelled
+)
+
+// slot is one slab entry backing a scheduled event.
+type slot struct {
+	at    phy.Micros
+	seq   uint64
+	fn    func()
+	pos   int32 // heap position; -1 when not queued
+	gen   uint32
+	state uint8
 }
 
-// At returns the time the event is scheduled for.
-func (e *Event) At() phy.Micros { return e.at }
+// Event is a handle to a scheduled callback. The zero Event is
+// inert: Cancel and Cancelled are no-ops on it.
+type Event struct {
+	q    *Queue
+	slot int32
+	gen  uint32
+	at   phy.Micros
+}
 
-// Cancel prevents the event from firing. Cancelling an already-fired
-// or already-cancelled event is a no-op.
-func (e *Event) Cancel() { e.cancel = true }
+// At returns the time the event was scheduled for.
+func (e Event) At() phy.Micros { return e.at }
 
-// Cancelled reports whether Cancel was called.
-func (e *Event) Cancelled() bool { return e.cancel }
+// Scheduled reports whether the handle refers to a real scheduling
+// (i.e. is not the zero Event). It does not say whether the event is
+// still pending.
+func (e Event) Scheduled() bool { return e.q != nil }
+
+// Cancel prevents the event from firing and releases its slot
+// immediately. Cancelling an already-fired or already-cancelled event
+// is a no-op.
+func (e Event) Cancel() {
+	if e.q == nil {
+		return
+	}
+	s := &e.q.slots[e.slot]
+	if s.gen != e.gen || s.state != statePending {
+		return
+	}
+	e.q.removeAt(int(s.pos))
+	s.state = stateCancelled
+	s.fn = nil
+	s.pos = -1
+	e.q.free = append(e.q.free, e.slot)
+}
+
+// Cancelled reports whether Cancel was called before the event fired.
+// Once the event's slot has been recycled by a later scheduling the
+// report degrades to false.
+func (e Event) Cancelled() bool {
+	if e.q == nil {
+		return false
+	}
+	s := &e.q.slots[e.slot]
+	return s.gen == e.gen && s.state == stateCancelled
+}
+
+// heapEntry carries the ordering key inline so heap compares touch no
+// slot memory.
+type heapEntry struct {
+	at  phy.Micros
+	seq uint64
+	idx int32
+}
 
 // Queue is a discrete-event scheduler. The zero value is ready to use.
 type Queue struct {
-	h    eventHeap
-	now  phy.Micros
-	seq  uint64
-	runs uint64
+	slots []slot
+	heap  []heapEntry // 4-ary min-heap ordered by (at, seq)
+	free  []int32
+	now   phy.Micros
+	seq   uint64
+	runs  uint64
 }
 
 // Now returns the current simulation time.
 func (q *Queue) Now() phy.Micros { return q.now }
 
-// Len returns the number of pending (non-cancelled) events. Cancelled
-// events still in the heap are not counted.
-func (q *Queue) Len() int {
-	n := 0
-	for _, e := range q.h {
-		if !e.cancel {
-			n++
-		}
-	}
-	return n
-}
+// Len returns the number of pending events in O(1). Cancelled events
+// are removed eagerly, so every heap entry is live.
+func (q *Queue) Len() int { return len(q.heap) }
 
 // Processed returns the number of events that have fired.
 func (q *Queue) Processed() uint64 { return q.runs }
 
 // At schedules fn at absolute time t. Scheduling in the past (t <
 // Now()) clamps to Now(), which keeps the clock monotonic.
-func (q *Queue) At(t phy.Micros, fn func()) *Event {
+func (q *Queue) At(t phy.Micros, fn func()) Event {
 	if t < q.now {
 		t = q.now
 	}
-	e := &Event{at: t, seq: q.seq, fn: fn}
+	var idx int32
+	if n := len(q.free); n > 0 {
+		idx = q.free[n-1]
+		q.free = q.free[:n-1]
+	} else {
+		q.slots = append(q.slots, slot{})
+		idx = int32(len(q.slots) - 1)
+	}
+	s := &q.slots[idx]
+	s.at = t
+	s.seq = q.seq
+	s.fn = fn
+	s.gen++
+	s.state = statePending
 	q.seq++
-	heap.Push(&q.h, e)
-	return e
+	s.pos = int32(len(q.heap))
+	q.heap = append(q.heap, heapEntry{at: t, seq: s.seq, idx: idx})
+	q.siftUp(int(s.pos))
+	return Event{q: q, slot: idx, gen: s.gen, at: t}
 }
 
 // After schedules fn d microseconds from now.
-func (q *Queue) After(d phy.Micros, fn func()) *Event {
+func (q *Queue) After(d phy.Micros, fn func()) Event {
 	if d < 0 {
 		d = 0
 	}
@@ -78,32 +145,28 @@ func (q *Queue) After(d phy.Micros, fn func()) *Event {
 // Step fires the earliest pending event and returns true, or returns
 // false if the queue is empty.
 func (q *Queue) Step() bool {
-	for q.h.Len() > 0 {
-		e := heap.Pop(&q.h).(*Event)
-		if e.cancel {
-			continue
-		}
-		q.now = e.at
-		q.runs++
-		e.fn()
-		return true
+	if len(q.heap) == 0 {
+		return false
 	}
-	return false
+	idx := q.heap[0].idx
+	s := &q.slots[idx]
+	q.now = s.at
+	fn := s.fn
+	s.fn = nil
+	s.state = stateFired
+	s.pos = -1
+	q.removeAt(0)
+	q.free = append(q.free, idx)
+	q.runs++
+	fn()
+	return true
 }
 
 // RunUntil fires events in order until the next event would be after
 // deadline (or the queue empties). The clock finishes at exactly
 // deadline.
 func (q *Queue) RunUntil(deadline phy.Micros) {
-	for q.h.Len() > 0 {
-		e := q.h[0]
-		if e.cancel {
-			heap.Pop(&q.h)
-			continue
-		}
-		if e.at > deadline {
-			break
-		}
+	for len(q.heap) > 0 && q.heap[0].at <= deadline {
 		q.Step()
 	}
 	if q.now < deadline {
@@ -118,35 +181,72 @@ func (q *Queue) Run() {
 	}
 }
 
-// eventHeap implements heap.Interface ordered by (time, seq).
-type eventHeap []*Event
+// --- 4-ary heap with inline (time, seq) keys --------------------------
 
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// less orders entries by (time, seq): earliest first, FIFO within the
+// same instant.
+func (a heapEntry) less(b heapEntry) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
+	return a.seq < b.seq
 }
 
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index, h[j].index = i, j
+// removeAt deletes the heap entry at position pos, restoring heap
+// order by moving the last entry into the hole.
+func (q *Queue) removeAt(pos int) {
+	last := len(q.heap) - 1
+	if pos != last {
+		q.heap[pos] = q.heap[last]
+		q.slots[q.heap[pos].idx].pos = int32(pos)
+	}
+	q.heap = q.heap[:last]
+	if pos < last {
+		q.siftDown(pos)
+		q.siftUp(pos)
+	}
 }
 
-func (h *eventHeap) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*h)
-	*h = append(*h, e)
+func (q *Queue) siftUp(pos int) {
+	e := q.heap[pos]
+	for pos > 0 {
+		parent := (pos - 1) / 4
+		if !e.less(q.heap[parent]) {
+			break
+		}
+		q.heap[pos] = q.heap[parent]
+		q.slots[q.heap[pos].idx].pos = int32(pos)
+		pos = parent
+	}
+	q.heap[pos] = e
+	q.slots[e.idx].pos = int32(pos)
 }
 
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*h = old[:n-1]
-	return e
+func (q *Queue) siftDown(pos int) {
+	e := q.heap[pos]
+	n := len(q.heap)
+	for {
+		first := pos*4 + 1
+		if first >= n {
+			break
+		}
+		best := first
+		end := first + 4
+		if end > n {
+			end = n
+		}
+		for c := first + 1; c < end; c++ {
+			if q.heap[c].less(q.heap[best]) {
+				best = c
+			}
+		}
+		if !q.heap[best].less(e) {
+			break
+		}
+		q.heap[pos] = q.heap[best]
+		q.slots[q.heap[pos].idx].pos = int32(pos)
+		pos = best
+	}
+	q.heap[pos] = e
+	q.slots[e.idx].pos = int32(pos)
 }

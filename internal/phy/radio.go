@@ -99,7 +99,13 @@ func (e Environment) Senses(rxDBm float64) bool { return rxDBm >= e.CarrierSense
 // higher BER, and each curve has the waterfall shape that makes rate
 // adaptation meaningful.
 func BER(snrDB float64, r Rate) float64 {
-	snr := math.Pow(10, snrDB/10)
+	return berLinear(math.Pow(10, snrDB/10), r)
+}
+
+// berLinear is BER with the SNR already converted to linear scale, so
+// a caller evaluating several rates at one SNR (FER does: PLCP at
+// 1 Mbps plus the body rate) pays for the dB→linear Pow once.
+func berLinear(snr float64, r Rate) float64 {
 	var ebn0 float64
 	switch r {
 	case Rate1Mbps:
@@ -130,6 +136,28 @@ func BER(snrDB float64, r Rate) float64 {
 	return ber
 }
 
+// ferZeroSNRdB returns the SNR above which FER provably evaluates to
+// exactly 0.0 at double precision for rate r, so callers can skip the
+// transcendental math. Above the threshold both the PLCP and body
+// exponents satisfy c·snr_lin ≥ 40 > 53·ln2, making each BER smaller
+// than 2⁻⁵⁴; then 1-BER rounds to exactly 1.0, Pow(1, n) is exactly
+// 1.0, and 1 - 1·1 is exactly 0 — the same value the full computation
+// produces. The thresholds carry ≈8% margin over the rounding
+// boundary, far beyond any ulp error in Pow.
+func ferZeroSNRdB(r Rate) float64 {
+	switch r {
+	case Rate1Mbps:
+		return 6.0 // 11·snr_lin ≥ 40
+	case Rate2Mbps:
+		return 9.0 // 5.5·snr_lin ≥ 40
+	case Rate5_5Mbps:
+		return 14.5 // 1.5·snr_lin ≥ 40
+	case Rate11Mbps:
+		return 19.5 // 0.5·snr_lin ≥ 40
+	}
+	return math.Inf(1) // unknown rate: BER is 1, no fast path
+}
+
 // FER returns the frame error rate for a frame of lengthBytes
 // transmitted at rate r and received at snrDB, assuming independent
 // bit errors: 1 - (1-BER)^bits. The PLCP header (always 1 Mbps) is
@@ -138,8 +166,14 @@ func FER(snrDB float64, lengthBytes int, r Rate) float64 {
 	if lengthBytes < 0 {
 		lengthBytes = 0
 	}
-	plcpOK := math.Pow(1-BER(snrDB, Rate1Mbps), 48) // 6-byte PLCP header
-	bodyOK := math.Pow(1-BER(snrDB, r), float64(lengthBytes*8))
+	if snrDB >= ferZeroSNRdB(r) {
+		// All rate thresholds dominate the 1 Mbps PLCP threshold, so
+		// both factors below are exactly 1 and FER is exactly 0.
+		return 0
+	}
+	snr := math.Pow(10, snrDB/10)
+	plcpOK := math.Pow(1-berLinear(snr, Rate1Mbps), 48) // 6-byte PLCP header
+	bodyOK := math.Pow(1-berLinear(snr, r), float64(lengthBytes*8))
 	return 1 - plcpOK*bodyOK
 }
 

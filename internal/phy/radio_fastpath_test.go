@@ -1,0 +1,54 @@
+package phy
+
+import (
+	"math"
+	"testing"
+)
+
+// ferFull is the FER formula without the zero fast path, for proving
+// the fast path returns bit-identical values.
+func ferFull(snrDB float64, lengthBytes int, r Rate) float64 {
+	if lengthBytes < 0 {
+		lengthBytes = 0
+	}
+	snr := math.Pow(10, snrDB/10)
+	plcpOK := math.Pow(1-berLinear(snr, Rate1Mbps), 48)
+	bodyOK := math.Pow(1-berLinear(snr, r), float64(lengthBytes*8))
+	return 1 - plcpOK*bodyOK
+}
+
+// TestFERFastPathBitIdentical sweeps SNR across each rate's fast-path
+// threshold and asserts FER matches the full computation exactly —
+// above the threshold both must be exactly 0, below they must agree
+// bit for bit. The simulator's golden-trace guarantee rests on this.
+func TestFERFastPathBitIdentical(t *testing.T) {
+	lengths := []int{0, 14, 250, 1500, 4096}
+	for _, r := range Rates {
+		thr := ferZeroSNRdB(r)
+		for snr := thr - 8; snr <= thr+12; snr += 0.097 {
+			for _, n := range lengths {
+				got := FER(snr, n, r)
+				want := ferFull(snr, n, r)
+				if got != want {
+					t.Fatalf("FER(%v, %d, %v) = %g, full = %g", snr, n, r, got, want)
+				}
+				if snr >= thr && got != 0 {
+					t.Fatalf("FER(%v, %d, %v) = %g above fast-path threshold %v, want exactly 0",
+						snr, n, r, got, thr)
+				}
+			}
+		}
+	}
+}
+
+// TestBERMatchesBerLinear pins the exported BER to the shared linear
+// helper.
+func TestBERMatchesBerLinear(t *testing.T) {
+	for _, r := range Rates {
+		for snr := -10.0; snr <= 40; snr += 0.5 {
+			if BER(snr, r) != berLinear(math.Pow(10, snr/10), r) {
+				t.Fatalf("BER(%v, %v) diverged from berLinear", snr, r)
+			}
+		}
+	}
+}

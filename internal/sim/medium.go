@@ -14,20 +14,76 @@ type medium struct {
 	channel phy.Channel
 	nodes   []*Node
 	active  []*transmission
+	// obsScratch is the reused Overlapped backing for tap
+	// observations (Taps may not retain it).
+	obsScratch []TxRef
 }
 
-// transmission is one in-flight frame on the medium.
+// transmission is one in-flight frame on the medium. Transmissions
+// are pooled on the Network and recycled once the transmission and
+// every transmission that overlapped it have completed (overlap lists
+// are read at delivery time, which can be after the interferer left
+// the air).
 type transmission struct {
-	from    *Node
-	frame   []byte // encoded MAC frame without FCS
+	from *Node
+	med  *medium
+	row  *linkRow // transmitter's link-matrix row, pinned at transmit
+	// frame is the encoded MAC frame without FCS, in a buffer reused
+	// across the pool.
+	frame   []byte
 	parsed  dot11.Frame
 	rate    phy.Rate
 	wireLen int
 	start   phy.Micros
 	end     phy.Micros
+	// seqno is the creation order, the canonical ordering of overlap
+	// lists (active-set iteration order is not stable under
+	// swap-delete, but interference sums must stay bit-identical).
+	seqno     uint64
+	activeIdx int
 	// overlapped lists transmissions whose airtime intersected this
-	// one; collision decisions are made per receiver at delivery.
+	// one, in seqno order; collision decisions are made per receiver
+	// at delivery.
 	overlapped []*transmission
+	// refs counts overlapping transmissions that have not completed
+	// yet; the struct returns to the pool when done && refs == 0.
+	refs int
+	done bool
+	// completeFn is the completion callback, allocated once per
+	// pooled struct.
+	completeFn func()
+	// Frame storage: transmit copies the caller's frame here so
+	// callers can build frames in per-node scratch space.
+	dataStore dot11.Data
+	rtsStore  dot11.RTS
+	ctsStore  dot11.CTS
+	ackStore  dot11.ACK
+}
+
+// getTx takes a transmission from the pool (or allocates one).
+func (n *Network) getTx() *transmission {
+	if k := len(n.txFree); k > 0 {
+		tx := n.txFree[k-1]
+		n.txFree = n.txFree[:k-1]
+		return tx
+	}
+	tx := &transmission{}
+	tx.completeFn = func() { tx.med.complete(tx) }
+	return tx
+}
+
+// putTx returns a transmission to the pool, dropping references so
+// frames and nodes become collectable.
+func (n *Network) putTx(tx *transmission) {
+	tx.from = nil
+	tx.med = nil
+	tx.row = nil
+	tx.parsed = nil
+	tx.overlapped = tx.overlapped[:0]
+	tx.refs = 0
+	tx.done = false
+	tx.dataStore.Body = nil
+	n.txFree = append(n.txFree, tx)
 }
 
 func newMedium(n *Network, c phy.Channel) *medium {
@@ -40,7 +96,8 @@ func (m *medium) attach(n *Node) {
 	n.medium = m
 }
 
-// detach removes a node (used when an AP switches channels).
+// detach removes a node (used when an AP switches channels). Removal
+// preserves order: the node list's order fixes the delivery order.
 func (m *medium) detach(n *Node) {
 	for i, o := range m.nodes {
 		if o == n {
@@ -54,55 +111,77 @@ func (m *medium) detach(n *Node) {
 }
 
 // busy reports whether any transmission (other than n's own) is
-// currently sensed by node n.
+// currently sensed by node n. The deterministic (unshadowed) path
+// loss decides sensing, so the hidden-terminal population is stable
+// across a run; the relation comes precomputed from the link matrix.
 func (m *medium) busy(n *Node) bool {
 	for _, tx := range m.active {
 		if tx.from == n {
 			continue
 		}
-		if m.sensedBy(n, tx) {
+		if tx.row.to[n.ID].sense {
 			return true
 		}
 	}
 	return false
 }
 
-// sensedBy reports whether node n's carrier sense detects tx. The
-// deterministic (unshadowed) path loss decides sensing, so the
-// hidden-terminal population is stable across a run; the relation is
-// memoized per (transmitter, listener) pair.
-func (m *medium) sensedBy(n *Node, tx *transmission) bool {
-	key := uint64(tx.from.ID)<<32 | uint64(uint32(n.ID))
-	if v, ok := m.net.senseCache[key]; ok {
-		return v
-	}
-	rx := m.net.cfg.Env.RxPowerDBm(tx.from.TxPower, tx.from.Pos.Distance(n.Pos), nil)
-	v := m.net.cfg.Env.Senses(rx)
-	m.net.senseCache[key] = v
-	return v
-}
-
-// transmit puts a frame on the air from node n. It returns the
-// transmission end time. DCF rules (waiting for idle, backoff) are the
-// caller's responsibility; SIFS responses call this directly.
+// transmit puts a frame on the air from node n. The frame is copied
+// into transmission-owned storage (for the MAC types of the DCF hot
+// path), so the caller may reuse f immediately. It returns the
+// transmission end time. DCF rules (waiting for idle, backoff) are
+// the caller's responsibility; SIFS responses call this directly.
 func (m *medium) transmit(n *Node, f dot11.Frame, r phy.Rate) phy.Micros {
 	now := m.net.q.Now()
-	wire := f.AppendTo(nil)
-	wireLen := f.WireLen()
-	tx := &transmission{
-		from:    n,
-		frame:   wire,
-		parsed:  f,
-		rate:    r,
-		wireLen: wireLen,
-		start:   now,
-		end:     now + phy.Airtime(wireLen, r),
+	tx := m.net.getTx()
+	tx.from = n
+	tx.med = m
+	tx.row = m.net.rowFor(n)
+	switch ff := f.(type) {
+	case *dot11.Data:
+		tx.dataStore = *ff
+		tx.parsed = &tx.dataStore
+	case *dot11.ACK:
+		tx.ackStore = *ff
+		tx.parsed = &tx.ackStore
+	case *dot11.CTS:
+		tx.ctsStore = *ff
+		tx.parsed = &tx.ctsStore
+	case *dot11.RTS:
+		tx.rtsStore = *ff
+		tx.parsed = &tx.rtsStore
+	default:
+		tx.parsed = f // mgmt/beacon: caller-owned, released at recycle
 	}
+	tx.frame = tx.parsed.AppendTo(tx.frame[:0])
+	tx.rate = r
+	tx.wireLen = f.WireLen()
+	tx.start = now
+	tx.end = now + phy.Airtime(tx.wireLen, r)
+	tx.seqno = m.net.txSeq
+	m.net.txSeq++
+
 	// Mark mutual overlap with everything already on the air.
 	for _, o := range m.active {
 		o.overlapped = append(o.overlapped, tx)
+		o.refs++
 		tx.overlapped = append(tx.overlapped, o)
+		tx.refs++
 	}
+	// The active set is unordered (swap-delete); restore creation
+	// order so per-receiver interference sums add in a deterministic
+	// order. Appends to the others' lists stay sorted for free: tx
+	// has the largest seqno so far.
+	for i := 1; i < len(tx.overlapped); i++ {
+		o := tx.overlapped[i]
+		j := i - 1
+		for j >= 0 && tx.overlapped[j].seqno > o.seqno {
+			tx.overlapped[j+1] = tx.overlapped[j]
+			j--
+		}
+		tx.overlapped[j+1] = o
+	}
+	tx.activeIdx = len(m.active)
 	m.active = append(m.active, tx)
 
 	// Carrier-sense notification: nodes that sense this transmitter
@@ -111,28 +190,32 @@ func (m *medium) transmit(n *Node, f dot11.Frame, r phy.Rate) phy.Micros {
 		if o == n {
 			continue
 		}
-		if m.sensedBy(o, tx) {
+		if tx.row.to[o.ID].sense {
 			o.mediumBusyDelta(+1)
 		}
 	}
-	m.net.q.At(tx.end, func() { m.complete(tx) })
+	m.net.q.At(tx.end, tx.completeFn)
 	return tx.end
 }
 
 // complete removes tx from the air, notifies carrier sense, delivers
 // the frame to potential receivers, and feeds the observation taps.
 func (m *medium) complete(tx *transmission) {
-	for i, o := range m.active {
-		if o == tx {
-			m.active = append(m.active[:i], m.active[i+1:]...)
-			break
-		}
+	// O(1) swap-delete from the active set.
+	last := len(m.active) - 1
+	if tx.activeIdx != last {
+		moved := m.active[last]
+		m.active[tx.activeIdx] = moved
+		moved.activeIdx = tx.activeIdx
 	}
+	m.active[last] = nil
+	m.active = m.active[:last]
+
 	for _, o := range m.nodes {
 		if o == tx.from {
 			continue
 		}
-		if m.sensedBy(o, tx) {
+		if tx.row.to[o.ID].sense {
 			o.mediumBusyDelta(-1)
 		}
 	}
@@ -149,8 +232,15 @@ func (m *medium) complete(tx *transmission) {
 		o.receive(tx, snr)
 	}
 
-	// Feed taps.
+	// Feed taps. Frame and Overlapped alias reused buffers; Taps
+	// must not retain them past the call.
 	if len(m.net.taps) > 0 {
+		m.obsScratch = m.obsScratch[:0]
+		for _, o := range tx.overlapped {
+			m.obsScratch = append(m.obsScratch, TxRef{
+				FromID: o.from.ID, FromPos: o.from.Pos, TxPowerDBm: o.from.TxPower,
+			})
+		}
 		obs := TxObservation{
 			Time:       tx.start,
 			End:        tx.end,
@@ -158,17 +248,31 @@ func (m *medium) complete(tx *transmission) {
 			Rate:       tx.rate,
 			Frame:      tx.frame,
 			WireLen:    tx.wireLen,
+			FromID:     tx.from.ID,
 			FromPos:    tx.from.Pos,
 			TxPowerDBm: tx.from.TxPower,
-		}
-		for _, o := range tx.overlapped {
-			obs.Overlapped = append(obs.Overlapped, TxRef{FromPos: o.from.Pos, TxPowerDBm: o.from.TxPower})
+			Overlapped: m.obsScratch,
 		}
 		for _, t := range m.net.taps {
 			t.ObserveTransmission(obs)
 		}
 	}
 	tx.from.transmissionDone(tx)
+
+	// Recycle: tx frees when everything that overlapped it is done
+	// too (their delivery decisions read tx through their overlap
+	// lists); completing may also release already-done overlappers
+	// that were only waiting on tx.
+	tx.done = true
+	for _, o := range tx.overlapped {
+		o.refs--
+		if o.done && o.refs == 0 {
+			m.net.putTx(o)
+		}
+	}
+	if tx.refs == 0 {
+		m.net.putTx(tx)
+	}
 }
 
 // deliverable decides whether receiver o successfully decodes tx and
@@ -179,12 +283,26 @@ func (m *medium) complete(tx *transmission) {
 //  2. Collision: an overlapping transmission's power at o brings the
 //     SINR under the capture threshold.
 //  3. Residual bit errors: a Bernoulli draw from the SNR/rate FER.
+//
+// A receiver that was itself transmitting during any part of tx is
+// deaf (half-duplex); that is checked before the SINR test so a deaf
+// node is not also counted as a collision victim.
 func (m *medium) deliverable(o *Node, tx *transmission) (snrDB float64, ok bool) {
-	env := m.net.cfg.Env
-	rxPower := env.RxPowerDBm(tx.from.TxPower, tx.from.Pos.Distance(o.Pos), m.net.rng)
+	env := &m.net.cfg.Env
+	rxPower := tx.row.to[o.ID].dBm
+	if env.ShadowingSigmaDB > 0 {
+		rxPower += m.net.rng.NormFloat64() * env.ShadowingSigmaDB
+	}
 	snr := env.SNRdB(rxPower)
 	if snr <= 0 {
 		return snr, false
+	}
+	// Half-duplex: a node transmitting during any part of tx cannot
+	// receive it, regardless of signal strength.
+	for _, it := range tx.overlapped {
+		if it.from == o {
+			return snr, false
+		}
 	}
 	// Sum interference from overlapping transmissions at o. A frame
 	// survives overlap only if its SINR clears the rate-dependent
@@ -193,26 +311,14 @@ func (m *medium) deliverable(o *Node, tx *transmission) (snrDB float64, ok bool)
 	if len(tx.overlapped) > 0 {
 		interfMW := 0.0
 		for _, it := range tx.overlapped {
-			if it.from == o {
-				continue // a node's own transmission deafens it entirely:
-				// handled below.
-			}
-			p := env.RxPowerDBm(it.from.TxPower, it.from.Pos.Distance(o.Pos), nil)
-			interfMW += dbmToMW(p)
+			interfMW += it.row.to[o.ID].mw
 		}
 		if interfMW > 0 {
-			sinr := rxPower - mwToDBm(interfMW+dbmToMW(env.NoiseFloorDBm))
+			sinr := rxPower - mwToDBm(interfMW+m.net.noiseMW)
 			if sinr < CaptureThresholdFor(tx.rate, m.net.cfg.CaptureThresholdDB) {
 				m.net.Stats.Collisions++
 				return snr, false
 			}
-		}
-	}
-	// Half-duplex: a node transmitting during any part of tx cannot
-	// receive it.
-	for _, it := range tx.overlapped {
-		if it.from == o {
-			return snr, false
 		}
 	}
 	// Residual bit errors at the noise-only SNR (a captured frame is

@@ -12,6 +12,11 @@ import (
 func pow10(x float64) float64 { return math.Pow(10, x) }
 func log10(x float64) float64 { return math.Log10(x) }
 
+// zeroBody is the shared all-zeros payload for generated data frames
+// (the simulator models sizes, not contents). Bodies beyond its length
+// fall back to a per-frame allocation.
+var zeroBody [4096]byte
+
 // frameKind classifies queued transmissions.
 type frameKind int
 
@@ -43,6 +48,18 @@ func (f *queuedFrame) wireLen() int {
 	return dot11.DataHeaderLen + f.size + 4
 }
 
+// respKind classifies the node's pending SIFS response. At most one
+// response can be pending: two overlapping frames both addressed to
+// this node cannot both clear the mutual-interference capture check,
+// so two deliveries can never land within one SIFS.
+type respKind int
+
+const (
+	respNone respKind = iota
+	respACK
+	respCTS
+)
+
 // Node is a station or access point.
 type Node struct {
 	net     *Network
@@ -69,8 +86,9 @@ type Node struct {
 	associated     bool
 	assocCount     int // for APs: number of associated stations
 
-	// DCF state.
+	// DCF state. The transmit queue is a ring over queue[qhead:].
 	queue        []queuedFrame
+	qhead        int
 	seq          uint16
 	cw           int
 	backoff      int // remaining backoff slots
@@ -79,11 +97,29 @@ type Node struct {
 	idleSince    phy.Micros // when busyCount last reached 0
 	transmitting bool
 
-	countdown      *eventq.Event
+	countdown      eventq.Event
 	countdownStart phy.Micros // when the current DIFS+backoff wait began
 
 	awaiting     awaitKind
-	awaitTimeout *eventq.Event
+	awaitTimeout eventq.Event
+
+	// Pending SIFS response (see respKind).
+	pendingResp respKind
+	respRA      dot11.Addr
+	respDur     uint16
+
+	// Preallocated event callbacks and frame scratch: the DCF loop
+	// schedules thousands of events per simulated second, and closures
+	// or frame structs allocated per event would dominate the profile.
+	onCountdownFn func()
+	onNAVFn       func()
+	onAwaitFn     func()
+	onCTSDataFn   func()
+	onRespFn      func()
+	scratchData   dot11.Data
+	scratchRTS    dot11.RTS
+	scratchCTS    dot11.CTS
+	scratchACK    dot11.ACK
 
 	// Per-node ground-truth counters.
 	Sent    int64 // data attempts
@@ -98,6 +134,29 @@ const (
 	awaitCTS
 	awaitACK
 )
+
+// initCallbacks binds the node's reusable event callbacks.
+func (n *Node) initCallbacks() {
+	n.onCountdownFn = func() {
+		n.countdown = eventq.Event{}
+		n.backoff = 0
+		n.transmitHead()
+	}
+	n.onNAVFn = func() {
+		n.countdown = eventq.Event{}
+		n.resumeCountdown()
+	}
+	n.onAwaitFn = func() {
+		n.awaitTimeout = eventq.Event{}
+		n.onExchangeFailure()
+	}
+	n.onCTSDataFn = func() {
+		if n.queueLen() > 0 {
+			n.transmitData(n.head())
+		}
+	}
+	n.onRespFn = func() { n.fireResp() }
+}
 
 // nextSeq mints the next MAC sequence number.
 func (n *Node) nextSeq() uint16 {
@@ -127,8 +186,12 @@ func (n *Node) AdapterFor(to dot11.Addr) rate.Adapter {
 	return a
 }
 
+// queueLen and head give ring-queue access to pending frames.
+func (n *Node) queueLen() int      { return len(n.queue) - n.qhead }
+func (n *Node) head() *queuedFrame { return &n.queue[n.qhead] }
+
 // QueueLen returns the number of frames awaiting transmission.
-func (n *Node) QueueLen() int { return len(n.queue) }
+func (n *Node) QueueLen() int { return n.queueLen() }
 
 // SendData enqueues a data frame of size body bytes to the given
 // destination. It reports whether the frame was accepted (the queue
@@ -137,7 +200,7 @@ func (n *Node) SendData(to dot11.Addr, size int) bool {
 	if size < 0 || !n.associatedNet() {
 		return false
 	}
-	if len(n.queue) >= n.net.cfg.QueueLimit {
+	if n.queueLen() >= n.net.cfg.QueueLimit {
 		n.net.Stats.QueueDrops++
 		return false
 	}
@@ -155,7 +218,7 @@ func (n *Node) SendData(to dot11.Addr, size int) bool {
 
 // enqueueFrame adds a frame and kicks the access procedure if idle.
 func (n *Node) enqueueFrame(f queuedFrame) {
-	wasEmpty := len(n.queue) == 0
+	wasEmpty := n.queueLen() == 0
 	n.queue = append(n.queue, f)
 	if wasEmpty && n.awaiting == awaitNone && !n.transmitting {
 		// Fresh access: if the medium has been idle ≥ DIFS the frame
@@ -168,7 +231,7 @@ func (n *Node) enqueueFrame(f queuedFrame) {
 // the head-of-queue frame. fresh marks a first attempt, which may
 // transmit without backoff on a long-idle medium.
 func (n *Node) startAccess(fresh bool) {
-	if len(n.queue) == 0 || n.countdown != nil || n.transmitting || n.awaiting != awaitNone {
+	if n.queueLen() == 0 || n.countdown.Scheduled() || n.transmitting || n.awaiting != awaitNone {
 		return
 	}
 	now := n.net.q.Now()
@@ -185,7 +248,7 @@ func (n *Node) startAccess(fresh bool) {
 // resumeCountdown schedules the transmit event if the medium is idle,
 // or waits for the busy→idle notification otherwise.
 func (n *Node) resumeCountdown() {
-	if n.countdown != nil || len(n.queue) == 0 {
+	if n.countdown.Scheduled() || n.queueLen() == 0 {
 		return
 	}
 	now := n.net.q.Now()
@@ -198,25 +261,18 @@ func (n *Node) resumeCountdown() {
 		// has not started, so countdownStart points at the NAV end;
 		// a pause during this wait must consume no slots.
 		n.countdownStart = n.navUntil
-		n.countdown = n.net.q.At(n.navUntil, func() {
-			n.countdown = nil
-			n.resumeCountdown()
-		})
+		n.countdown = n.net.q.At(n.navUntil, n.onNAVFn)
 		return
 	}
 	n.countdownStart = start
 	wait := phy.DIFS + phy.Micros(n.backoff)*phy.SlotTime
-	n.countdown = n.net.q.After(wait, func() {
-		n.countdown = nil
-		n.backoff = 0
-		n.transmitHead()
-	})
+	n.countdown = n.net.q.After(wait, n.onCountdownFn)
 }
 
 // pauseCountdown freezes the backoff timer when the medium goes busy,
 // banking fully-elapsed slots (802.11 freezes, not resets, backoff).
 func (n *Node) pauseCountdown() {
-	if n.countdown == nil {
+	if !n.countdown.Scheduled() {
 		return
 	}
 	elapsed := n.net.q.Now() - n.countdownStart - phy.DIFS
@@ -228,7 +284,7 @@ func (n *Node) pauseCountdown() {
 		n.backoff -= consumed
 	}
 	n.countdown.Cancel()
-	n.countdown = nil
+	n.countdown = eventq.Event{}
 }
 
 // mediumBusyDelta is called by the medium when a sensed transmission
@@ -251,10 +307,10 @@ func (n *Node) mediumBusyDelta(d int) {
 // transmitHead puts the head-of-queue frame on the air (RTS first if
 // the frame uses RTS/CTS protection).
 func (n *Node) transmitHead() {
-	if len(n.queue) == 0 || n.transmitting {
+	if n.queueLen() == 0 || n.transmitting {
 		return
 	}
-	f := &n.queue[0]
+	f := n.head()
 	switch f.kind {
 	case frameBeacon, frameMgmt:
 		n.transmitting = true
@@ -284,8 +340,7 @@ func (n *Node) snrTowards(to dot11.Addr) float64 {
 	if peer == nil {
 		return 25 // unknown receiver: assume a healthy link
 	}
-	env := n.net.cfg.Env
-	return env.SNRdB(env.RxPowerDBm(n.TxPower, n.Pos.Distance(peer.Pos), nil))
+	return n.net.rowFor(n).to[peer.ID].snr
 }
 
 // peerByAddr resolves an address to a node (nil for broadcast or
@@ -301,14 +356,16 @@ func (n *Node) transmitRTS(f *queuedFrame) {
 	n.transmitting = true
 	n.net.Stats.RTSSent++
 	r := n.dataRate(f)
-	rts := dot11.NewRTS(f.to, n.Addr, dot11.NAVForRTS(f.wireLen(), r))
-	end := n.medium.transmit(n, rts, phy.ControlRate)
+	n.scratchRTS = dot11.RTS{
+		FC:       dot11.FrameControl{Type: dot11.TypeCtrl, Subtype: dot11.SubtypeRTS},
+		Duration: dot11.NAVForRTS(f.wireLen(), r),
+		RA:       f.to,
+		TA:       n.Addr,
+	}
+	end := n.medium.transmit(n, &n.scratchRTS, phy.ControlRate)
 	// CTS timeout: SIFS + CTS airtime + 2 slots of grace.
 	n.awaiting = awaitCTS
-	n.awaitTimeout = n.net.q.At(end+phy.SIFS+phy.CtsDuration(phy.ControlRate)+2*phy.SlotTime, func() {
-		n.awaitTimeout = nil
-		n.onExchangeFailure()
-	})
+	n.awaitTimeout = n.net.q.At(end+phy.SIFS+phy.CtsDuration(phy.ControlRate)+2*phy.SlotTime, n.onAwaitFn)
 }
 
 func (n *Node) transmitData(f *queuedFrame) {
@@ -320,15 +377,29 @@ func (n *Node) transmitData(f *queuedFrame) {
 	if n.AP != nil {
 		bssid = n.AP.Addr
 	}
-	var d *dot11.Data
+	var body []byte
+	if f.size <= len(zeroBody) {
+		body = zeroBody[:f.size]
+	} else {
+		body = make([]byte, f.size)
+	}
+	d := &n.scratchData
 	if n.IsAP {
-		d = dot11.NewData(f.to, n.Addr, n.Addr, f.seq, make([]byte, f.size))
-		d.FC.FromDS = true
+		*d = dot11.Data{
+			FC:    dot11.FrameControl{Type: dot11.TypeData, Subtype: dot11.SubtypeData, FromDS: true},
+			Addr1: f.to, Addr2: n.Addr, Addr3: n.Addr,
+			Seq:  dot11.SeqControl{Num: f.seq & 0xfff},
+			Body: body,
+		}
 	} else {
 		// ToDS: Addr1 = BSSID (the AP receives and relays), Addr2 =
 		// station, Addr3 = final destination.
-		d = dot11.NewData(bssid, n.Addr, f.to, f.seq, make([]byte, f.size))
-		d.FC.ToDS = true
+		*d = dot11.Data{
+			FC:    dot11.FrameControl{Type: dot11.TypeData, Subtype: dot11.SubtypeData, ToDS: true},
+			Addr1: bssid, Addr2: n.Addr, Addr3: f.to,
+			Seq:  dot11.SeqControl{Num: f.seq & 0xfff},
+			Body: body,
+		}
 	}
 	d.FC.Retry = f.retries > 0
 	d.Duration = dot11.NAVForData(d.Addr1, phy.ControlRate)
@@ -339,10 +410,7 @@ func (n *Node) transmitData(f *queuedFrame) {
 		return
 	}
 	n.awaiting = awaitACK
-	n.awaitTimeout = n.net.q.At(end+phy.SIFS+phy.AckDuration(phy.ControlRate)+2*phy.SlotTime, func() {
-		n.awaitTimeout = nil
-		n.onExchangeFailure()
-	})
+	n.awaitTimeout = n.net.q.At(end+phy.SIFS+phy.AckDuration(phy.ControlRate)+2*phy.SlotTime, n.onAwaitFn)
 }
 
 // transmissionDone is called by the medium when this node's
@@ -367,10 +435,21 @@ func (n *Node) transmissionDone(tx *transmission) {
 	}
 }
 
-// popHead removes the head-of-queue frame and resets retry state.
+// popHead removes the head-of-queue frame and resets retry state. The
+// ring compacts once the dead prefix outweighs the live tail, so the
+// backing array stays bounded by the queue limit.
 func (n *Node) popHead() {
-	if len(n.queue) > 0 {
-		n.queue = n.queue[1:]
+	if n.queueLen() > 0 {
+		n.queue[n.qhead] = queuedFrame{} // drop mgmt refs
+		n.qhead++
+		if n.qhead == len(n.queue) {
+			n.queue = n.queue[:0]
+			n.qhead = 0
+		} else if n.qhead >= 32 && n.qhead*2 >= len(n.queue) {
+			k := copy(n.queue, n.queue[n.qhead:])
+			n.queue = n.queue[:k]
+			n.qhead = 0
+		}
 	}
 	n.cw = phy.CWMin
 }
@@ -379,10 +458,10 @@ func (n *Node) popHead() {
 // backoff, retry, or drop at the retry limit.
 func (n *Node) onExchangeFailure() {
 	n.awaiting = awaitNone
-	if len(n.queue) == 0 {
+	if n.queueLen() == 0 {
 		return
 	}
-	f := &n.queue[0]
+	f := n.head()
 	f.retries++
 	if f.kind == frameData {
 		n.AdapterFor(f.to).OnFailure()
@@ -407,6 +486,36 @@ func (n *Node) onExchangeFailure() {
 	n.resumeCountdown()
 }
 
+// scheduleResp queues the node's SIFS response (see respKind for why
+// a single slot suffices).
+func (n *Node) scheduleResp(kind respKind, ra dot11.Addr, dur uint16) {
+	n.pendingResp = kind
+	n.respRA = ra
+	n.respDur = dur
+	n.net.q.After(phy.SIFS, n.onRespFn)
+}
+
+// fireResp builds and transmits the pending SIFS response.
+func (n *Node) fireResp() {
+	kind := n.pendingResp
+	n.pendingResp = respNone
+	switch kind {
+	case respCTS:
+		n.scratchCTS = dot11.CTS{
+			FC:       dot11.FrameControl{Type: dot11.TypeCtrl, Subtype: dot11.SubtypeCTS},
+			Duration: n.respDur,
+			RA:       n.respRA,
+		}
+		n.medium.transmit(n, &n.scratchCTS, phy.ControlRate)
+	case respACK:
+		n.scratchACK = dot11.ACK{
+			FC: dot11.FrameControl{Type: dot11.TypeCtrl, Subtype: dot11.SubtypeACK},
+			RA: n.respRA,
+		}
+		n.medium.transmit(n, &n.scratchACK, phy.ControlRate)
+	}
+}
+
 // receive handles a successfully decoded frame at this node.
 func (n *Node) receive(tx *transmission, snrDB float64) {
 	now := n.net.q.Now()
@@ -416,18 +525,16 @@ func (n *Node) receive(tx *transmission, snrDB float64) {
 			if now < n.navUntil {
 				return // NAV busy: stay silent, sender times out
 			}
-			cts := dot11.NewCTS(f.TA, dot11.NAVForCTS(f.Duration))
 			n.net.Stats.CTSSent++
-			n.net.q.After(phy.SIFS, func() { n.medium.transmit(n, cts, phy.ControlRate) })
+			n.scheduleResp(respCTS, f.TA, dot11.NAVForCTS(f.Duration))
 		} else {
 			n.updateNAV(now, f.Duration)
 		}
 	case *dot11.CTS:
 		if f.RA == n.Addr && n.awaiting == awaitCTS {
 			n.clearAwait()
-			if len(n.queue) > 0 {
-				head := &n.queue[0]
-				n.net.q.After(phy.SIFS, func() { n.transmitData(head) })
+			if n.queueLen() > 0 {
+				n.net.q.After(phy.SIFS, n.onCTSDataFn)
 			}
 		} else if f.RA != n.Addr {
 			n.updateNAV(now, f.Duration)
@@ -437,17 +544,16 @@ func (n *Node) receive(tx *transmission, snrDB float64) {
 			n.clearAwait()
 			n.Acked++
 			n.net.Stats.DataAcked++
-			if len(n.queue) > 0 {
-				n.AdapterFor(n.queue[0].to).OnAck()
+			if n.queueLen() > 0 {
+				n.AdapterFor(n.head().to).OnAck()
 			}
 			n.popHead()
 			n.startAccess(true)
 		}
 	case *dot11.Data:
 		if f.Addr1 == n.Addr {
-			ack := dot11.NewACK(f.Addr2)
 			n.net.Stats.ACKSent++
-			n.net.q.After(phy.SIFS, func() { n.medium.transmit(n, ack, phy.ControlRate) })
+			n.scheduleResp(respACK, f.Addr2, 0)
 		} else if !f.Addr1.IsGroup() {
 			n.updateNAV(now, f.Duration)
 		}
@@ -459,10 +565,8 @@ func (n *Node) receive(tx *transmission, snrDB float64) {
 // clearAwait cancels the pending CTS/ACK timeout.
 func (n *Node) clearAwait() {
 	n.awaiting = awaitNone
-	if n.awaitTimeout != nil {
-		n.awaitTimeout.Cancel()
-		n.awaitTimeout = nil
-	}
+	n.awaitTimeout.Cancel()
+	n.awaitTimeout = eventq.Event{}
 }
 
 // updateNAV extends the virtual carrier sense from an overheard
@@ -472,7 +576,7 @@ func (n *Node) updateNAV(now phy.Micros, duration uint16) {
 	if until > n.navUntil {
 		n.navUntil = until
 		// If a countdown is pending it must respect the new NAV.
-		if n.countdown != nil && n.busyCount == 0 {
+		if n.countdown.Scheduled() && n.busyCount == 0 {
 			n.pauseCountdownForNAV()
 		}
 	}

@@ -11,6 +11,11 @@
 // (observable through the sniffer taps) that the paper's vicinity
 // sniffing framework recorded. See DESIGN.md for the substitution
 // argument.
+//
+// The hot paths are allocation-free at steady state: events live in a
+// slab queue (package eventq), the pairwise radio link model is a
+// dense precomputed matrix, and in-flight transmissions are pooled
+// and recycled by reference count.
 package sim
 
 import (
@@ -73,6 +78,10 @@ func DefaultConfig() Config {
 // Tap observes every completed transmission on a channel, with the
 // geometry needed to decide whether a passive observer would have
 // captured it. The sniffer package implements Tap.
+//
+// The observation's Frame and Overlapped slices alias buffers the
+// simulator recycles: they are valid only for the duration of the
+// call. A Tap that retains them must copy.
 type Tap interface {
 	// ObserveTransmission is called once per completed transmission.
 	ObserveTransmission(obs TxObservation)
@@ -88,22 +97,48 @@ type TxObservation struct {
 	// Channel and Rate of the transmission.
 	Channel phy.Channel
 	Rate    phy.Rate
-	// Frame is the encoded MAC frame without FCS.
+	// Frame is the encoded MAC frame without FCS. It aliases a reused
+	// buffer: valid only during the ObserveTransmission call.
 	Frame []byte
 	// WireLen is the over-the-air length including FCS.
 	WireLen int
-	// FromPos / TxPowerDBm locate the transmitter.
+	// FromID / FromPos / TxPowerDBm identify and locate the
+	// transmitter. FromID is the dense node ID, stable for the node's
+	// lifetime — observers can use it to memoize per-transmitter state.
+	FromID     int
 	FromPos    Position
 	TxPowerDBm float64
 	// Overlapped lists concurrent transmissions (potential colliders
-	// at any given observer).
+	// at any given observer). The slice is reused between
+	// observations: valid only during the call.
 	Overlapped []TxRef
 }
 
 // TxRef locates an interfering transmitter.
 type TxRef struct {
+	FromID     int
 	FromPos    Position
 	TxPowerDBm float64
+}
+
+// link is one precomputed directed radio link: the deterministic
+// (unshadowed) received power of transmitter→receiver in both dBm and
+// milliwatts, the resulting SNR, and whether the receiver's carrier
+// sense detects the transmitter. Shadowing draws stay per-delivery so
+// the RNG stream is unchanged from computing path loss on the fly.
+type link struct {
+	dBm   float64
+	mw    float64
+	snr   float64
+	sense bool
+}
+
+// linkRow is one transmitter's row of the link matrix, tagged with the
+// transmit power it was computed at so power changes (TPC, tests
+// poking Node.TxPower) invalidate it lazily.
+type linkRow struct {
+	power float64
+	to    []link
 }
 
 // Network is a simulated 802.11b network.
@@ -114,10 +149,16 @@ type Network struct {
 	media  map[phy.Channel]*medium
 	nodes  []*Node
 	byAddr map[dot11.Addr]*Node
-	// senseCache memoizes the deterministic pairwise carrier-sense
-	// relation (positions are fixed for a node's lifetime).
-	senseCache map[uint64]bool
-	taps       []Tap
+	// links is the dense pairwise link matrix, indexed by transmitter
+	// node ID then receiver node ID. Rows are pointers so in-flight
+	// transmissions can hold them across mid-run node additions.
+	links   []*linkRow
+	noiseMW float64
+	taps    []Tap
+
+	// Transmission pool (see medium.go).
+	txFree []*transmission
+	txSeq  uint64
 
 	// Counters for tests and reports.
 	Stats NetStats
@@ -145,11 +186,11 @@ func New(cfg Config) *Network {
 		cfg = DefaultConfig()
 	}
 	return &Network{
-		cfg:        cfg,
-		rng:        rand.New(rand.NewSource(cfg.Seed)),
-		media:      make(map[phy.Channel]*medium),
-		byAddr:     make(map[dot11.Addr]*Node),
-		senseCache: make(map[uint64]bool),
+		cfg:     cfg,
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		media:   make(map[phy.Channel]*medium),
+		byAddr:  make(map[dot11.Addr]*Node),
+		noiseMW: pow10(cfg.Env.NoiseFloorDBm / 10),
 	}
 }
 
@@ -176,6 +217,27 @@ func (n *Network) mediumFor(c phy.Channel) *medium {
 		n.media[c] = m
 	}
 	return m
+}
+
+// linkFromTo computes one directed link entry at the given transmit
+// power.
+func (n *Network) linkFromTo(power float64, from, to *Node) link {
+	env := &n.cfg.Env
+	dBm := env.RxPowerDBm(power, from.Pos.Distance(to.Pos), nil)
+	return link{dBm: dBm, mw: pow10(dBm / 10), snr: env.SNRdB(dBm), sense: env.Senses(dBm)}
+}
+
+// rowFor returns node's link-matrix row, rebuilding it if the node's
+// transmit power changed since it was computed.
+func (n *Network) rowFor(node *Node) *linkRow {
+	row := n.links[node.ID]
+	if row.power != node.TxPower {
+		row.power = node.TxPower
+		for i, o := range n.nodes {
+			row.to[i] = n.linkFromTo(row.power, node, o)
+		}
+	}
+	return row
 }
 
 // AddAP creates an access point on the given channel.
@@ -215,8 +277,20 @@ func (n *Network) newNode(name string, pos Position, ch phy.Channel) *Node {
 		TxPower: n.cfg.DefaultTxPowerDBm,
 		cw:      phy.CWMin,
 	}
+	node.initCallbacks()
 	n.nodes = append(n.nodes, node)
 	n.byAddr[node.Addr] = node
+	// Extend every existing transmitter's row toward the new node, at
+	// the power that row was computed at (lazy rebuild handles drift).
+	for i, row := range n.links {
+		row.to = append(row.to, n.linkFromTo(row.power, n.nodes[i], node))
+	}
+	// Build the new node's own row.
+	row := &linkRow{power: node.TxPower, to: make([]link, len(n.nodes))}
+	for i, o := range n.nodes {
+		row.to[i] = n.linkFromTo(row.power, node, o)
+	}
+	n.links = append(n.links, row)
 	n.mediumFor(ch).attach(node)
 	return node
 }

@@ -324,7 +324,13 @@ func TestChannelIsolation(t *testing.T) {
 func TestTapObservations(t *testing.T) {
 	net, ap, stas := testNet(16, 1, rate.NewFixedFactory(phy.Rate5_5Mbps))
 	var obs []TxObservation
-	net.AddTap(tapFunc(func(o TxObservation) { obs = append(obs, o) }))
+	net.AddTap(tapFunc(func(o TxObservation) {
+		// Frame and Overlapped alias simulator-owned buffers; a Tap
+		// that retains an observation must copy them.
+		o.Frame = append([]byte(nil), o.Frame...)
+		o.Overlapped = append([]TxRef(nil), o.Overlapped...)
+		obs = append(obs, o)
+	}))
 	stas[0].SendData(ap.Addr, 500)
 	net.RunFor(phy.MicrosPerSecond / 10)
 	if len(obs) == 0 {

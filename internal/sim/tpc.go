@@ -40,8 +40,13 @@ func (n *Network) ApplyTPC(targetSNRdB float64) int {
 			adjusted++
 		}
 	}
-	// Pairwise sensing depends on transmit power: invalidate the memo.
-	n.senseCache = make(map[uint64]bool)
+	// Rebuild changed rows eagerly and in place: in-flight
+	// transmissions pin row pointers, and the pre-matrix simulator
+	// computed delivery power at delivery time — so deliveries after a
+	// mid-run TPC change must already see the new powers.
+	for _, node := range n.nodes {
+		n.rowFor(node)
+	}
 	return adjusted
 }
 

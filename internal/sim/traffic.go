@@ -74,6 +74,7 @@ type Generator struct {
 	// paper's utilization range.
 	loadScale float64
 	stopped   bool
+	tick      func() // reusable arrival callback
 }
 
 // StartTraffic attaches a traffic generator with the given profile to
@@ -83,6 +84,10 @@ func (n *Network) StartTraffic(st *Node, p Profile, loadScale float64) *Generato
 		loadScale = 1
 	}
 	g := &Generator{net: n, station: st, profile: p, loadScale: loadScale}
+	g.tick = func() {
+		g.emit()
+		g.scheduleNext()
+	}
 	g.scheduleNext()
 	return g
 }
@@ -116,10 +121,7 @@ func (g *Generator) scheduleNext() {
 	if gap < 100 {
 		gap = 100
 	}
-	g.net.q.After(gap, func() {
-		g.emit()
-		g.scheduleNext()
-	})
+	g.net.q.After(gap, g.tick)
 }
 
 // emit queues one application frame in the chosen direction.

@@ -68,6 +68,16 @@ type Sniffer struct {
 	rng *rand.Rand
 
 	records []capture.Record
+	// arena holds all captured frame bytes back to back; each record's
+	// Frame aliases a span of it. One growing buffer replaces one
+	// allocation per captured frame.
+	arena []byte
+	// memos caches the deterministic received power per transmitter
+	// (indexed by the dense node ID), replacing a path-loss
+	// computation per observed frame. Transmitter positions are fixed
+	// for a node's lifetime; power changes invalidate lazily.
+	memos   []txMemo
+	noiseMW float64
 
 	// Loss accounting (ground truth for validating the paper's
 	// unrecorded-frame estimators).
@@ -82,6 +92,15 @@ type Sniffer struct {
 	curCount  int
 }
 
+// txMemo is the cached deterministic link from one transmitter to the
+// sniffer.
+type txMemo struct {
+	known bool
+	power float64 // transmit power the memo was computed at
+	det   float64 // deterministic rx power, dBm
+	mw    float64 // same in milliwatts
+}
+
 // New creates a sniffer.
 func New(cfg Config) *Sniffer {
 	if cfg.SnapLen <= 0 {
@@ -90,7 +109,26 @@ func New(cfg Config) *Sniffer {
 	if cfg.MaxFramesPerSec <= 0 {
 		cfg.MaxFramesPerSec = 1200
 	}
-	return &Sniffer{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+	return &Sniffer{
+		cfg:     cfg,
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		noiseMW: dbmToMW(cfg.Env.NoiseFloorDBm),
+	}
+}
+
+// memoFor returns the cached deterministic link from transmitter id at
+// pos with the given power, computing it on first sight (or when the
+// transmitter's power changed).
+func (s *Sniffer) memoFor(id int, power float64, pos sim.Position) *txMemo {
+	for id >= len(s.memos) {
+		s.memos = append(s.memos, txMemo{})
+	}
+	m := &s.memos[id]
+	if !m.known || m.power != power {
+		det := s.cfg.Env.RxPowerDBm(power, pos.Distance(s.cfg.Pos), nil)
+		*m = txMemo{known: true, power: power, det: det, mw: dbmToMW(det)}
+	}
+	return m
 }
 
 // Records returns the captured trace in arrival order.
@@ -106,8 +144,11 @@ func (s *Sniffer) ObserveTransmission(o sim.TxObservation) {
 	}
 	s.Seen++
 
-	env := s.cfg.Env
-	rx := env.RxPowerDBm(o.TxPowerDBm, o.FromPos.Distance(s.cfg.Pos), s.rng)
+	env := &s.cfg.Env
+	rx := s.memoFor(o.FromID, o.TxPowerDBm, o.FromPos).det
+	if env.ShadowingSigmaDB > 0 {
+		rx += s.rng.NormFloat64() * env.ShadowingSigmaDB
+	}
 	if rx < s.cfg.SensitivityDBm {
 		s.LostHidden++
 		return
@@ -119,10 +160,9 @@ func (s *Sniffer) ObserveTransmission(o sim.TxObservation) {
 	if len(o.Overlapped) > 0 {
 		interfMW := 0.0
 		for _, it := range o.Overlapped {
-			p := env.RxPowerDBm(it.TxPowerDBm, it.FromPos.Distance(s.cfg.Pos), nil)
-			interfMW += dbmToMW(p)
+			interfMW += s.memoFor(it.FromID, it.TxPowerDBm, it.FromPos).mw
 		}
-		sinr := rx - mwToDBm(interfMW+dbmToMW(env.NoiseFloorDBm))
+		sinr := rx - mwToDBm(interfMW+s.noiseMW)
 		if sinr < sim.CaptureThresholdFor(o.Rate, 10) { // as at receivers
 			s.LostCollision++
 			return
@@ -157,8 +197,21 @@ func (s *Sniffer) ObserveTransmission(o sim.TxObservation) {
 	if len(frame) > s.cfg.SnapLen {
 		frame = frame[:s.cfg.SnapLen]
 	}
-	cp := make([]byte, len(frame))
-	copy(cp, frame)
+	// Copy the frame bytes into the arena (o.Frame aliases a reused
+	// simulator buffer) and grow the record slice in chunks sized by
+	// the capture pipeline's per-second ceiling.
+	start := len(s.arena)
+	s.arena = append(s.arena, frame...)
+	cp := s.arena[start:len(s.arena):len(s.arena)]
+	if len(s.records) == cap(s.records) {
+		grow := s.cfg.MaxFramesPerSec
+		if grow < len(s.records) {
+			grow = len(s.records) // amortize: double at scale
+		}
+		next := make([]capture.Record, len(s.records), len(s.records)+grow)
+		copy(next, s.records)
+		s.records = next
+	}
 	s.records = append(s.records, capture.Record{
 		Time:      o.Time,
 		Rate:      o.Rate,

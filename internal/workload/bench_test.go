@@ -1,0 +1,26 @@
+package workload
+
+import (
+	"testing"
+)
+
+// The simulator benches run the paper's two sessions end to end
+// (simulate + capture + merge) at a reduced scale, reporting allocs so
+// the hot-path work (event queue, link matrix, transmission pooling,
+// capture arena) stays measurable.
+
+func benchSession(b *testing.B, s Session) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		built, err := s.Build()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if recs := built.Run(); len(recs) == 0 {
+			b.Fatal("empty trace")
+		}
+	}
+}
+
+func BenchmarkSimDay(b *testing.B)     { benchSession(b, DaySession().Scale(0.15)) }
+func BenchmarkSimPlenary(b *testing.B) { benchSession(b, PlenarySession().Scale(0.15)) }

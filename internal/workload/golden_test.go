@@ -1,0 +1,67 @@
+package workload
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"testing"
+
+	"wlan80211/internal/capture"
+)
+
+// goldenScenario is a small, fast scenario exercising every simulator
+// mechanism that feeds the trace: contention, collisions, rate
+// adaptation, churn, the controller, and all three sniffer loss modes.
+func goldenScenario() []capture.Record {
+	b, err := DaySession().Scale(0.1).Build()
+	if err != nil {
+		panic(err)
+	}
+	return b.Run()
+}
+
+// hashTrace folds every field of every record into one digest, so any
+// behavioural drift in the simulator — timing, rates, signal levels,
+// frame bytes, ordering — changes the hash.
+func hashTrace(recs []capture.Record) string {
+	h := sha256.New()
+	var buf [8]byte
+	put := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	for _, r := range recs {
+		put(uint64(r.Time))
+		put(uint64(r.Rate))
+		put(uint64(r.Channel))
+		put(uint64(uint8(r.SignalDBm)))
+		put(uint64(uint8(r.NoiseDBm)))
+		put(uint64(r.SnifferID))
+		put(uint64(r.OrigLen))
+		put(uint64(len(r.Frame)))
+		h.Write(r.Frame)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// goldenTraceHash is the digest of goldenScenario's merged trace as
+// produced by the simulator before the hot-path overhaul (slab event
+// queue, link matrix, pooled transmissions). The overhaul must be
+// bit-identical for fixed seeds; regenerate this constant only for
+// deliberate behavioural changes.
+const goldenTraceHash = "efca01bb81f1ed530f6b0fc6ae19064a21630b09dff2e40d857239258f406fbc"
+
+func TestGoldenTraceHash(t *testing.T) {
+	got := hashTrace(goldenScenario())
+	if got != goldenTraceHash {
+		t.Errorf("golden trace hash drifted:\n got %s\nwant %s", got, goldenTraceHash)
+	}
+}
+
+// TestGoldenTraceStable guards the guard: two runs of the same scenario
+// must agree with each other, or the hash test is meaningless.
+func TestGoldenTraceStable(t *testing.T) {
+	if a, b := hashTrace(goldenScenario()), hashTrace(goldenScenario()); a != b {
+		t.Fatalf("same-seed runs diverged: %s vs %s", a, b)
+	}
+}
