@@ -15,6 +15,7 @@ import (
 	"wlan80211/internal/analysis"
 	"wlan80211/internal/capture"
 	"wlan80211/internal/core"
+	"wlan80211/internal/experiment"
 	"wlan80211/internal/phy"
 	"wlan80211/internal/rate"
 	"wlan80211/internal/sim"
@@ -405,6 +406,68 @@ func BenchmarkAnalyzeParallel(b *testing.B) {
 		frames = r.TotalFrames
 	}
 	b.ReportMetric(float64(frames), "frames")
+}
+
+// --- Experiment engine ------------------------------------------------
+
+// BenchmarkExperimentMatrix measures the worker-pool engine on an
+// 8-cell seeds×scales sweep matrix, every run streaming straight into
+// its own analysis pipeline (simulate + analyze, no materialized
+// traces).
+func BenchmarkExperimentMatrix(b *testing.B) {
+	m := experiment.Matrix{
+		Scenarios: []string{"sweep"},
+		Seeds:     []int64{1, 2, 3, 4},
+		Scales:    []float64{0.1, 0.15},
+	}
+	var frames float64
+	for i := 0; i < b.N; i++ {
+		specs, err := m.Expand()
+		if err != nil {
+			b.Fatal(err)
+		}
+		results := (&experiment.Engine{}).Run(specs)
+		frames = 0
+		for _, r := range results {
+			if r.Err != nil {
+				b.Fatal(r.Err)
+			}
+			frames += float64(r.Summary.Frames)
+		}
+	}
+	b.ReportMetric(frames, "frames")
+}
+
+// BenchmarkTable1_FullScale runs the day and plenary sessions at full
+// Scale(1.0) through the streaming engine and reports the absolute
+// Table 1 counts — the paper-comparison numbers the opt-in CI job
+// archives into BENCH_3.json. Streaming keeps peak memory at
+// per-second state even for these multi-minute, hundred-user runs.
+func BenchmarkTable1_FullScale(b *testing.B) {
+	specs := []experiment.Spec{
+		{Name: "day", Scale: 1.0, Scenario: experiment.NewSession(workload.DaySession())},
+		{Name: "plenary", Scale: 1.0, Scenario: experiment.NewSession(workload.PlenarySession())},
+	}
+	var day, plenary experiment.Summary
+	for i := 0; i < b.N; i++ {
+		results := (&experiment.Engine{}).Run(specs)
+		for _, r := range results {
+			if r.Err != nil {
+				b.Fatal(r.Err)
+			}
+		}
+		day, plenary = results[0].Summary, results[1].Summary
+	}
+	b.ReportMetric(float64(day.Frames), "day_frames")
+	b.ReportMetric(float64(day.DataFrames), "day_data_frames")
+	b.ReportMetric(float64(day.PeakUsers), "day_peak_users")
+	b.ReportMetric(float64(day.ModalUtilPct), "day_mode_%")
+	b.ReportMetric(day.UnrecordedPct, "day_unrecorded_%")
+	b.ReportMetric(float64(plenary.Frames), "plenary_frames")
+	b.ReportMetric(float64(plenary.DataFrames), "plenary_data_frames")
+	b.ReportMetric(float64(plenary.PeakUsers), "plenary_peak_users")
+	b.ReportMetric(float64(plenary.ModalUtilPct), "plenary_mode_%")
+	b.ReportMetric(plenary.UnrecordedPct, "plenary_unrecorded_%")
 }
 
 // --- Ablations (DESIGN.md A1–A4) -------------------------------------

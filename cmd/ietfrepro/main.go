@@ -5,12 +5,17 @@
 // Tables 1–2 and Figures 4–5 come from the day and plenary session
 // scenarios; the scatter Figures 6–15 come from the utilization sweep
 // ladder, mirroring how the paper pools both sessions' per-second data.
+// All three scenarios execute on the experiment engine's worker pool,
+// each streaming straight into its own analysis pipeline — no
+// materialized traces, so a full-scale run needs only per-second
+// memory.
 //
 // Usage:
 //
 //	ietfrepro                 # everything, default scale
 //	ietfrepro -scale 0.5      # faster, smaller runs
 //	ietfrepro -only 8         # just Figure 8
+//	ietfrepro -sweep 4        # seeds×scales robustness matrix instead of figures
 package main
 
 import (
@@ -18,30 +23,29 @@ import (
 	"fmt"
 	"os"
 
-	"wlan80211/internal/analysis"
-	"wlan80211/internal/capture"
+	"wlan80211/internal/experiment"
 	"wlan80211/internal/report"
 	"wlan80211/internal/workload"
 )
 
-// analyze runs the streaming pipeline over a trace, optionally with
-// per-channel parallelism (results are identical either way).
-func analyze(recs []capture.Record, parallel bool) *analysis.Result {
-	r, err := analysis.AnalyzeWith(analysis.Options{Parallel: parallel}, recs)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "ietfrepro:", err)
-		os.Exit(1)
-	}
-	return r
-}
-
 func main() {
 	var (
-		scale    = flag.Float64("scale", 1.0, "scenario scale factor (0..1]")
-		only     = flag.Int("only", 0, "print only this figure number (0 = everything)")
-		parallel = flag.Bool("parallel", true, "shard analysis per channel across goroutines")
+		scale   = flag.Float64("scale", 1.0, "scenario scale factor (0..1]")
+		only    = flag.Int("only", 0, "print only this figure number (0 = everything)")
+		workers = flag.Int("workers", 0, "concurrent scenario runs (0 = GOMAXPROCS)")
+		sweep   = flag.Int("sweep", 0, "run the day/plenary/ladder matrix over N seeds and print mean±stddev aggregates instead of figures")
 	)
 	flag.Parse()
+
+	if *only != 0 && (*only < 4 || *only > 15) {
+		fmt.Fprintf(os.Stderr, "ietfrepro: no figure %d (have 4-15)\n", *only)
+		os.Exit(2)
+	}
+
+	if *sweep > 0 {
+		runMatrix(*sweep, *scale, *workers)
+		return
+	}
 
 	day := workload.DaySession().Scale(*scale)
 	plenary := workload.PlenarySession().Scale(*scale)
@@ -58,17 +62,37 @@ func main() {
 		fmt.Println()
 	}
 
-	// Session scenarios for Figures 4 and 5.
-	for _, s := range []workload.Session{day, plenary} {
-		b, err := s.Build()
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "ietfrepro:", err)
+	// Only the scenarios whose figures will print run — concurrently
+	// on the engine, streaming.
+	needSessions := *only == 0 || *only == 4 || *only == 5
+	needLadder := *only != 4 && *only != 5
+	var specs []experiment.Spec
+	if needSessions {
+		specs = append(specs,
+			experiment.Spec{Name: "day", Scale: *scale, Scenario: experiment.NewSession(day)},
+			experiment.Spec{Name: "plenary", Scale: *scale, Scenario: experiment.NewSession(plenary)},
+		)
+	}
+	if needLadder {
+		specs = append(specs, experiment.Spec{
+			Name: "ladder", Scale: *scale,
+			Scenario: experiment.NewLadder("ladder", workload.DefaultLadder(*scale)),
+		})
+	}
+	eng := &experiment.Engine{Workers: *workers}
+	results := eng.Run(specs)
+	for _, res := range results {
+		if res.Err != nil {
+			fmt.Fprintf(os.Stderr, "ietfrepro: %s: %v\n", res.Spec.Name, res.Err)
 			os.Exit(1)
 		}
-		recs := b.Run()
-		r := analyze(recs, *parallel)
-		if *only == 0 || *only == 4 || *only == 5 {
-			fmt.Printf("=== %s session (%d frames captured) ===\n\n", s.Name, len(recs))
+	}
+
+	// Session figures (4–5).
+	if needSessions {
+		for _, res := range results[:2] {
+			r := res.Result
+			fmt.Printf("=== %s session (%d frames captured) ===\n\n", res.Spec.Name, r.TotalFrames)
 			if *only == 0 || *only == 4 {
 				report.Figure4a(r, 15).WriteTo(os.Stdout)
 				fmt.Println()
@@ -90,10 +114,9 @@ func main() {
 		return
 	}
 
-	// Sweep ladder for Figures 6–15.
-	recs := workload.MultiSweep(workload.DefaultLadder(*scale))
-	r := analyze(recs, *parallel)
-	fmt.Printf("=== utilization sweep (%d frames captured) ===\n\n", len(recs))
+	// Sweep ladder for Figures 6–15 (always the last spec when run).
+	r := results[len(results)-1].Result
+	fmt.Printf("=== utilization sweep (%d frames captured) ===\n\n", r.TotalFrames)
 	figs := map[int]*report.Table{
 		6:  report.Figure6(r),
 		7:  report.Figure7(r),
@@ -107,12 +130,8 @@ func main() {
 		15: report.Figure15(r),
 	}
 	if *only != 0 {
-		t, ok := figs[*only]
-		if !ok {
-			fmt.Fprintf(os.Stderr, "ietfrepro: no figure %d\n", *only)
-			os.Exit(2)
-		}
-		t.WriteTo(os.Stdout)
+		// *only is validated to 4..15 up front and 4/5 returned above.
+		figs[*only].WriteTo(os.Stdout)
 		return
 	}
 	report.Summary(r).WriteTo(os.Stdout)
@@ -120,5 +139,37 @@ func main() {
 	for i := 6; i <= 15; i++ {
 		figs[i].WriteTo(os.Stdout)
 		fmt.Println()
+	}
+}
+
+// runMatrix is the -sweep mode: the three repro scenarios × N seeds
+// at the given scale, aggregated to mean±stddev per scenario — a
+// robustness check that the headline numbers are not one-seed flukes.
+func runMatrix(nSeeds int, scale float64, workers int) {
+	m := experiment.Matrix{
+		Scenarios: []string{"day", "plenary", "ladder"},
+		Scales:    []float64{scale},
+	}
+	for s := int64(1); s <= int64(nSeeds); s++ {
+		m.Seeds = append(m.Seeds, s)
+	}
+	specs, err := m.Expand()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ietfrepro:", err)
+		os.Exit(1)
+	}
+	eng := &experiment.Engine{Workers: workers}
+	results := eng.Run(specs)
+	failed := 0
+	for _, res := range results {
+		if res.Err != nil {
+			failed++
+			fmt.Fprintf(os.Stderr, "ietfrepro: %s seed=%d: %v\n", res.Spec.Name, res.Spec.Seed, res.Err)
+		}
+	}
+	title := fmt.Sprintf("Repro matrix (%d runs)", len(results))
+	experiment.AggregateTable(title, experiment.Aggregate(results)).WriteTo(os.Stdout)
+	if failed > 0 {
+		os.Exit(1)
 	}
 }

@@ -1,0 +1,182 @@
+// Command wlansweep runs a seeds × scales × scenarios experiment
+// matrix on a worker pool, streaming every run straight into the
+// analysis pipeline (no materialized traces), and reports per-group
+// mean±stddev summary rows — the multi-run aggregate view the paper's
+// own results are: averages over many sniffer-hours at different
+// congestion levels.
+//
+// Usage:
+//
+//	wlansweep                                         # day+plenary, 4 seeds, scale 0.25
+//	wlansweep -scenarios sweep,ladder -scales 0.2,0.4
+//	wlansweep -seeds 62,63,64,65 -scales 0.5 -workers 4
+//	wlansweep -runs 8 -json matrix.json               # 8 seeds per cell + JSON archive
+//	wlansweep -list                                   # registered scenarios
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"wlan80211/internal/experiment"
+)
+
+// jsonReport is the -json document: the expanded matrix, one row per
+// run, and the scenario+scale aggregates.
+type jsonReport struct {
+	Scenarios  []string                `json:"scenarios"`
+	Seeds      []int64                 `json:"seeds"`
+	Scales     []float64               `json:"scales"`
+	Workers    int                     `json:"workers"`
+	Runs       []jsonRun               `json:"runs"`
+	Aggregates []experiment.Aggregated `json:"aggregates"`
+}
+
+// jsonRun is one matrix cell's outcome.
+type jsonRun struct {
+	Scenario string             `json:"scenario"`
+	Seed     int64              `json:"seed"`
+	Scale    float64            `json:"scale"`
+	Params   []experiment.Param `json:"params,omitempty"`
+	Summary  experiment.Summary `json:"summary"`
+	Error    string             `json:"error,omitempty"`
+}
+
+func main() {
+	var (
+		scenarios = flag.String("scenarios", "day,plenary", "comma-separated scenario names (see -list)")
+		seeds     = flag.String("seeds", "", "comma-separated seeds (default: 1..runs)")
+		runs      = flag.Int("runs", 4, "seeds per cell when -seeds is empty (seed 1..N)")
+		scales    = flag.String("scales", "0.25", "comma-separated scale factors (1.0 = full size)")
+		workers   = flag.Int("workers", 0, "concurrent runs (0 = GOMAXPROCS)")
+		metrics   = flag.String("metrics", "", "comma-separated analysis stages (default: all)")
+		jsonOut   = flag.String("json", "", "also write the full report as JSON to this path (- = stdout)")
+		list      = flag.Bool("list", false, "list registered scenarios and exit")
+	)
+	flag.Parse()
+	if *list {
+		for _, n := range experiment.Names() {
+			fmt.Println(n)
+		}
+		return
+	}
+
+	m := experiment.Matrix{Scenarios: splitList(*scenarios)}
+	var err error
+	if m.Scales, err = parseFloats(*scales); err != nil {
+		fatal(err)
+	}
+	if *seeds != "" {
+		if m.Seeds, err = parseInts(*seeds); err != nil {
+			fatal(err)
+		}
+	} else {
+		for s := int64(1); s <= int64(*runs); s++ {
+			m.Seeds = append(m.Seeds, s)
+		}
+	}
+
+	specs, err := m.Expand()
+	if err != nil {
+		fatal(err)
+	}
+	eng := &experiment.Engine{Workers: *workers, Metrics: splitList(*metrics)}
+	results := eng.Run(specs)
+	aggs := experiment.Aggregate(results)
+
+	failed := 0
+	for _, r := range results {
+		if r.Err != nil {
+			failed++
+			fmt.Fprintf(os.Stderr, "wlansweep: %s seed=%d scale=%g: %v\n", r.Spec.Name, r.Spec.Seed, r.Spec.Scale, r.Err)
+		}
+	}
+
+	// With -json - the JSON document owns stdout; the table would
+	// corrupt it for any consumer.
+	if *jsonOut != "-" {
+		title := fmt.Sprintf("Experiment matrix (%d runs)", len(results))
+		experiment.AggregateTable(title, aggs).WriteTo(os.Stdout)
+	}
+
+	if *jsonOut != "" {
+		doc := jsonReport{
+			Scenarios:  m.Scenarios,
+			Seeds:      m.Seeds,
+			Scales:     m.Scales,
+			Workers:    *workers,
+			Aggregates: aggs,
+		}
+		for _, r := range results {
+			jr := jsonRun{
+				Scenario: r.Spec.Name,
+				Seed:     r.Spec.Seed,
+				Scale:    r.Spec.Scale,
+				Summary:  r.Summary,
+			}
+			if r.Spec.Scenario != nil {
+				jr.Params = r.Spec.Scenario.Params()
+			}
+			if r.Err != nil {
+				jr.Error = r.Err.Error()
+			}
+			doc.Runs = append(doc.Runs, jr)
+		}
+		enc, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		enc = append(enc, '\n')
+		if *jsonOut == "-" {
+			os.Stdout.Write(enc)
+		} else if err := os.WriteFile(*jsonOut, enc, 0o644); err != nil {
+			fatal(err)
+		}
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func parseInts(s string) ([]int64, error) {
+	var out []int64
+	for _, p := range splitList(s) {
+		v, err := strconv.ParseInt(p, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad seed %q: %v", p, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseFloats(s string) ([]float64, error) {
+	var out []float64
+	for _, p := range splitList(s) {
+		v, err := strconv.ParseFloat(p, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad scale %q: %v", p, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "wlansweep:", err)
+	os.Exit(2)
+}

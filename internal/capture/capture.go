@@ -161,17 +161,139 @@ func ReadAll(rd io.Reader) ([]Record, int, error) {
 	}
 }
 
+// minMergeRunLen is the average ascending-run length below which
+// Merge abandons the run-merging path for the index sort: traces that
+// fragmented into short runs pay more for run bookkeeping than the
+// sort costs.
+const minMergeRunLen = 32
+
 // Merge combines multiple per-sniffer traces into one stream sorted by
 // timestamp. When two sniffers captured the same transmission (equal
 // time, channel, and frame bytes), only one copy is kept — co-located
 // sniffers during the plenary session would otherwise double-count.
 // The inputs need not be sorted. Merge is stable for distinct records
 // with equal timestamps.
+//
+// Sniffer traces are nearly time-sorted already (capture order is
+// transmission-end order; starts lag by at most one airtime), so
+// Merge first splits every trace into maximal non-decreasing runs and
+// k-way-merges them in ~O(n) when the runs are long — typically a
+// handful of runs per trace. Heavily shuffled input falls back to the
+// O(n log n) index sort.
 func Merge(traces ...[]Record) []Record {
 	total := 0
 	for _, t := range traces {
 		total += len(t)
 	}
+	if total == 0 {
+		return nil
+	}
+	// Split into maximal non-decreasing runs, in input order: run i
+	// precedes run j exactly when every record of i precedes every
+	// record of j in the original concatenation — which makes a k-way
+	// merge that breaks ties by run index equivalent to the stable
+	// (original-position) sort.
+	runs := make([][]Record, 0, len(traces))
+	for _, tr := range traces {
+		for i := 0; i < len(tr); {
+			j := i + 1
+			for j < len(tr) && tr[j].Time >= tr[j-1].Time {
+				j++
+			}
+			runs = append(runs, tr[i:j])
+			i = j
+		}
+	}
+	var out []Record
+	if total/len(runs) >= minMergeRunLen || len(runs) <= len(traces) {
+		out = mergeRuns(runs, total)
+	} else {
+		out = sortConcat(traces, total)
+	}
+	// Drop duplicates among equal-time runs.
+	dedup := out[:0]
+	for i, r := range out {
+		dup := false
+		for j := i - 1; j >= 0 && out[j].Time == r.Time; j-- {
+			if sameAir(&out[j], &r) {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			dedup = append(dedup, r)
+		}
+	}
+	return dedup
+}
+
+// mergeRuns k-way-merges already-sorted runs into one stream: O(n)
+// for one run, O(n log k) otherwise, against the index sort's
+// O(n log n). Ties pop from the lowest run index, matching the stable
+// sort (runs are in original-position order).
+func mergeRuns(runs [][]Record, total int) []Record {
+	out := make([]Record, 0, total)
+	if len(runs) == 1 {
+		return append(out, runs[0]...)
+	}
+	// heap is a binary min-heap of run indices ordered by each run's
+	// head record time, ties by run index.
+	heap := make([]int32, 0, len(runs))
+	less := func(a, b int32) bool {
+		ta, tb := runs[a][0].Time, runs[b][0].Time
+		if ta != tb {
+			return ta < tb
+		}
+		return a < b
+	}
+	push := func(ri int32) {
+		heap = append(heap, ri)
+		for i := len(heap) - 1; i > 0; {
+			parent := (i - 1) / 2
+			if !less(heap[i], heap[parent]) {
+				break
+			}
+			heap[i], heap[parent] = heap[parent], heap[i]
+			i = parent
+		}
+	}
+	siftDown := func() {
+		i := 0
+		for {
+			l, r := 2*i+1, 2*i+2
+			smallest := i
+			if l < len(heap) && less(heap[l], heap[smallest]) {
+				smallest = l
+			}
+			if r < len(heap) && less(heap[r], heap[smallest]) {
+				smallest = r
+			}
+			if smallest == i {
+				return
+			}
+			heap[i], heap[smallest] = heap[smallest], heap[i]
+			i = smallest
+		}
+	}
+	for ri := range runs {
+		push(int32(ri))
+	}
+	for len(heap) > 0 {
+		ri := heap[0]
+		out = append(out, runs[ri][0])
+		runs[ri] = runs[ri][1:]
+		if len(runs[ri]) == 0 {
+			heap[0] = heap[len(heap)-1]
+			heap = heap[:len(heap)-1]
+		}
+		siftDown()
+	}
+	return out
+}
+
+// sortConcat is the fallback for heavily shuffled input: concatenate
+// and index-sort, then apply the permutation in place.
+func sortConcat(traces [][]Record, total int) []Record {
 	merged := make([]Record, 0, total)
 	for _, t := range traces {
 		merged = append(merged, t...)
@@ -211,22 +333,7 @@ func Merge(traces ...[]Record) []Record {
 		merged[k] = tmp
 		idx[k] = -1
 	}
-	out := merged
-	// Drop duplicates among equal-time runs.
-	dedup := out[:0]
-	for i, r := range out {
-		dup := false
-		for j := i - 1; j >= 0 && out[j].Time == r.Time; j-- {
-			if sameAir(&out[j], &r) {
-				dup = true
-				break
-			}
-		}
-		if !dup {
-			dedup = append(dedup, r)
-		}
-	}
-	return dedup
+	return merged
 }
 
 // sameAir reports whether two records describe the same over-the-air

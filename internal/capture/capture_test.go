@@ -2,6 +2,8 @@ package capture
 
 import (
 	"bytes"
+	"math/rand"
+	"sort"
 	"testing"
 
 	"wlan80211/internal/dot11"
@@ -211,6 +213,131 @@ func TestMergeDedupRequiresIdenticalAir(t *testing.T) {
 	merged := Merge([]Record{base}, []Record{diffRate, diffChan, diffBytes, trueDup})
 	if len(merged) != 4 {
 		t.Errorf("merged %d records, want 4 (only the true duplicate collapses)", len(merged))
+	}
+}
+
+// refMerge is the straightforward specification Merge must match:
+// concatenate, stable-sort by time, then drop same-air duplicates.
+func refMerge(traces ...[]Record) []Record {
+	var all []Record
+	for _, tr := range traces {
+		all = append(all, tr...)
+	}
+	sort.SliceStable(all, func(i, j int) bool { return all[i].Time < all[j].Time })
+	var out []Record
+	for i, r := range all {
+		dup := false
+		for j := i - 1; j >= 0 && all[j].Time == r.Time; j-- {
+			if sameAir(&all[j], &r) {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+func sameMerged(a, b []Record) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Time != b[i].Time || a[i].SnifferID != b[i].SnifferID ||
+			a[i].Channel != b[i].Channel || !bytes.Equal(a[i].Frame, b[i].Frame) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestMergeMatchesReference drives both Merge paths — the ~O(n)
+// run-detecting k-way merge on nearly-sorted input and the index-sort
+// fallback on shuffled input — against the specification.
+func TestMergeMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	cases := []struct {
+		name string
+		gen  func() [][]Record
+	}{
+		{"sorted", func() [][]Record {
+			// Fully sorted per-sniffer traces: one run each.
+			var traces [][]Record
+			for s := 0; s < 3; s++ {
+				var tr []Record
+				tm := phy.Micros(rng.Intn(50))
+				for i := 0; i < 200; i++ {
+					tm += phy.Micros(rng.Intn(300))
+					r := testRecord(tm, phy.Channel1, byte(i))
+					r.SnifferID = s
+					tr = append(tr, r)
+				}
+				traces = append(traces, tr)
+			}
+			return traces
+		}},
+		{"nearly-sorted", func() [][]Record {
+			// Occasional out-of-order records, as overlapping
+			// transmissions produce: long runs, few breaks.
+			var traces [][]Record
+			for s := 0; s < 2; s++ {
+				var tr []Record
+				tm := phy.Micros(1000)
+				for i := 0; i < 400; i++ {
+					tm += phy.Micros(rng.Intn(200))
+					at := tm
+					if rng.Intn(100) == 0 {
+						at -= phy.Micros(5000) // a late long frame
+					}
+					r := testRecord(at, phy.Channel6, byte(i))
+					r.SnifferID = s
+					tr = append(tr, r)
+				}
+				traces = append(traces, tr)
+			}
+			return traces
+		}},
+		{"shuffled", func() [][]Record {
+			// Fully random: short runs force the index-sort fallback.
+			var tr []Record
+			for i := 0; i < 500; i++ {
+				tr = append(tr, testRecord(phy.Micros(rng.Intn(2000)), phy.Channel11, byte(i)))
+			}
+			return [][]Record{tr}
+		}},
+		{"equal-times", func() [][]Record {
+			// Heavy timestamp collisions exercise tie-breaking and
+			// dedup together.
+			var a, b []Record
+			for i := 0; i < 200; i++ {
+				tm := phy.Micros(rng.Intn(20))
+				a = append(a, testRecord(tm, phy.Channel1, byte(i%7)))
+				b = append(b, testRecord(tm, phy.Channel1, byte(i%5)))
+			}
+			return [][]Record{a, b}
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			traces := tc.gen()
+			// Inputs must survive the merge unmodified.
+			backup := make([][]Record, len(traces))
+			for i, tr := range traces {
+				backup[i] = append([]Record(nil), tr...)
+			}
+			got := Merge(traces...)
+			want := refMerge(traces...)
+			if !sameMerged(got, want) {
+				t.Fatalf("Merge diverges from reference: %d vs %d records", len(got), len(want))
+			}
+			for i := range traces {
+				if !sameMerged(traces[i], backup[i]) {
+					t.Fatalf("Merge mutated input trace %d", i)
+				}
+			}
+		})
 	}
 }
 

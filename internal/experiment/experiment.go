@@ -1,0 +1,115 @@
+// Package experiment is the scenario-driven parallel experiment
+// engine: the layer that turns single simulator runs into the
+// aggregate, multi-run results the paper reports (means over many
+// sniffer-hours at different congestion levels).
+//
+// It contributes three pieces:
+//
+//   - A Scenario abstraction (name, parameters, build → runnable)
+//     unifying the workload package's Session, Sweep, and sweep-ladder
+//     shapes behind one interface, with a registry so CLIs can select
+//     scenarios by name and a Matrix expander for seeds × scales ×
+//     scenario variants.
+//
+//   - A streaming sim→analysis bridge: a run emits capture records as
+//     frames are sniffed (sniffer emit mode), a bounded reordering
+//     stage restores start-time order, and records feed
+//     analysis.Analyzer.Feed directly — no materialized
+//     []capture.Record, no post-hoc capture.Merge, per-run peak
+//     memory independent of trace length. The streamed Result is
+//     bit-identical to analyzing the materialized, merged trace.
+//
+//   - A worker-pool Engine (bounded by GOMAXPROCS) that executes an
+//     expanded matrix, collects per-run analysis Results, and
+//     aggregates summary metrics into deterministic mean/stddev rows
+//     keyed by scenario+scale.
+package experiment
+
+import (
+	"fmt"
+	"sort"
+
+	"wlan80211/internal/capture"
+)
+
+// Sink receives one capture record. A record's Frame bytes may alias
+// a buffer the producer reuses: they are valid only during the call,
+// and a Sink that retains them must copy.
+type Sink func(rec capture.Record)
+
+// Param is one scenario knob, for reports and JSON output.
+type Param struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// Scenario is one runnable experiment configuration: a named,
+// parameterized recipe that builds into a Run. Implementations wrap
+// the workload package's session, sweep, and ladder shapes; Register
+// makes new ones selectable by name.
+type Scenario interface {
+	// Name labels the scenario family ("day", "sweep", ...).
+	Name() string
+	// Params describes the concrete knobs, in display order.
+	Params() []Param
+	// Build constructs the simulation. Each Run executes once.
+	Build() (Run, error)
+}
+
+// Run is one constructed simulation, ready to execute exactly once.
+type Run interface {
+	// Stream executes the simulation, feeding every captured record
+	// to sink at capture time. Records arrive in observation order —
+	// non-decreasing transmission-end time — so a record's start
+	// timestamp may trail an earlier-delivered one by up to a frame
+	// airtime; Reorder restores start-time order. Frame bytes alias
+	// reused buffers, valid only during the sink call.
+	Stream(sink Sink) error
+}
+
+// Factory builds a scenario variant for one matrix cell. A zero seed
+// keeps the scenario's default seed; scale is the workload Scale
+// factor (1.0 = full size).
+type Factory func(seed int64, scale float64) Scenario
+
+// registry maps scenario names to factories, in registration order.
+var registry []struct {
+	name    string
+	factory Factory
+}
+
+// Register adds a scenario factory under a unique name so Matrix and
+// the CLIs can select it. Built-ins ("day", "plenary", "sweep",
+// "ladder") register at init.
+func Register(name string, f Factory) {
+	for _, e := range registry {
+		if e.name == name {
+			panic(fmt.Sprintf("experiment: scenario %q already registered", name))
+		}
+	}
+	registry = append(registry, struct {
+		name    string
+		factory Factory
+	}{name, f})
+}
+
+// Names returns the registered scenario names in registration order.
+func Names() []string {
+	out := make([]string, len(registry))
+	for i, e := range registry {
+		out[i] = e.name
+	}
+	return out
+}
+
+// New builds the named scenario variant from the registry.
+func New(name string, seed int64, scale float64) (Scenario, error) {
+	for _, e := range registry {
+		if e.name == name {
+			return e.factory(seed, scale), nil
+		}
+	}
+	known := Names()
+	sort.Strings(known)
+	return nil, fmt.Errorf("experiment: unknown scenario %q (have %v)", name, known)
+}

@@ -1,0 +1,162 @@
+package experiment
+
+import (
+	"fmt"
+
+	"wlan80211/internal/capture"
+	"wlan80211/internal/phy"
+)
+
+// The simulator's taps observe a transmission when it *completes*, so
+// a streamed run delivers records in non-decreasing end-time order
+// while capture timestamps are start times: when transmissions
+// overlap (collisions), a short frame that started later can be
+// delivered before a long frame that started earlier. The
+// materialized path hides this behind capture.Merge's timestamp sort.
+// Reorder restores start-time order on the fly with a bounded buffer:
+// because end times never decrease and no frame stays on the air
+// longer than maxAirtime, any buffered record whose start precedes
+// the newest end by more than maxAirtime can never be preceded by a
+// future arrival and is safe to release.
+
+// maxReorderWire bounds the wire length a reordered stream can carry:
+// comfortably above both the 802.11 MPDU ceiling (2346 bytes) and the
+// largest frame the traffic profiles generate (~1540 bytes).
+const maxReorderWire = 4096
+
+// maxAirtime is the longest any single frame can occupy the air: a
+// maxReorderWire-byte frame at 1 Mbps with the long preamble (~33 ms).
+// It is the reordering horizon — and therefore the peak buffer depth,
+// independent of trace length.
+var maxAirtime = phy.Airtime(maxReorderWire, phy.Rate1Mbps)
+
+// pendingRec is one buffered record; rec.Frame aliases buf, which is
+// recycled once the record is released.
+type pendingRec struct {
+	rec capture.Record
+	buf []byte
+	seq uint64 // arrival order, the tie-break for equal start times
+}
+
+// Reorder is the streaming bridge's sorting stage: records added in
+// observation (end-time) order are released to the sink in start-time
+// order, ties broken by arrival — exactly the order capture.Merge's
+// stable timestamp sort produces for the same records. Not safe for
+// concurrent use; each run gets its own Reorder.
+type Reorder struct {
+	sink Sink
+	// heap is a binary min-heap on (rec.Time, seq).
+	heap []pendingRec
+	free [][]byte
+	seq  uint64
+	// watermark is the newest observation end time seen.
+	watermark phy.Micros
+	// maxPending is the high-water mark of the heap, exposed for the
+	// bounded-memory test.
+	maxPending int
+}
+
+// NewReorder creates a reordering stage feeding sink. Records the
+// sink receives alias pooled buffers valid only during the call.
+func NewReorder(sink Sink) *Reorder {
+	return &Reorder{sink: sink}
+}
+
+// Add accepts the next record of an observation-ordered stream and
+// releases every buffered record that can no longer be preceded.
+func (r *Reorder) Add(rec capture.Record) {
+	air := phy.Airtime(rec.OrigLen, rec.Rate)
+	if air > maxAirtime {
+		// Impossible for the simulator's traffic (see maxReorderWire);
+		// fail loudly rather than silently mis-sort.
+		panic(fmt.Sprintf("experiment: frame airtime %dµs exceeds reorder horizon %dµs", air, maxAirtime))
+	}
+
+	// Copy the frame into a pooled buffer; the incoming bytes alias a
+	// simulator buffer that dies when this call returns.
+	var buf []byte
+	if n := len(r.free); n > 0 {
+		buf = r.free[n-1][:0]
+		r.free = r.free[:n-1]
+	}
+	buf = append(buf, rec.Frame...)
+	rec.Frame = buf
+
+	r.push(pendingRec{rec: rec, buf: buf, seq: r.seq})
+	r.seq++
+	if len(r.heap) > r.maxPending {
+		r.maxPending = len(r.heap)
+	}
+
+	if end := rec.Time + air; end > r.watermark {
+		r.watermark = end
+	}
+	// Every future arrival starts at or after watermark-maxAirtime.
+	for len(r.heap) > 0 && r.heap[0].rec.Time <= r.watermark-maxAirtime {
+		r.release()
+	}
+}
+
+// Flush releases everything still buffered; call once the run ends.
+func (r *Reorder) Flush() {
+	for len(r.heap) > 0 {
+		r.release()
+	}
+}
+
+// MaxPending reports the deepest the buffer ever got.
+func (r *Reorder) MaxPending() int { return r.maxPending }
+
+// release pops the minimum record, hands it to the sink, and recycles
+// its buffer.
+func (r *Reorder) release() {
+	p := r.pop()
+	r.sink(p.rec)
+	r.free = append(r.free, p.buf)
+}
+
+// less orders the heap by (start time, arrival).
+func (r *Reorder) less(a, b pendingRec) bool {
+	if a.rec.Time != b.rec.Time {
+		return a.rec.Time < b.rec.Time
+	}
+	return a.seq < b.seq
+}
+
+func (r *Reorder) push(p pendingRec) {
+	r.heap = append(r.heap, p)
+	i := len(r.heap) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !r.less(r.heap[i], r.heap[parent]) {
+			break
+		}
+		r.heap[i], r.heap[parent] = r.heap[parent], r.heap[i]
+		i = parent
+	}
+}
+
+func (r *Reorder) pop() pendingRec {
+	top := r.heap[0]
+	last := len(r.heap) - 1
+	r.heap[0] = r.heap[last]
+	r.heap[last] = pendingRec{}
+	r.heap = r.heap[:last]
+	i := 0
+	for {
+		l, rt := 2*i+1, 2*i+2
+		smallest := i
+		if l < len(r.heap) && r.less(r.heap[l], r.heap[smallest]) {
+			smallest = l
+		}
+		if rt < len(r.heap) && r.less(r.heap[rt], r.heap[smallest]) {
+			smallest = rt
+		}
+		if smallest == i {
+			break
+		}
+		r.heap[i], r.heap[smallest] = r.heap[smallest], r.heap[i]
+		i = smallest
+	}
+	return top
+}

@@ -157,6 +157,11 @@ func Sparkline(values []float64, width int) string {
 	return string(out)
 }
 
+// MeanStddev formats a mean±stddev cell for aggregate tables.
+func MeanStddev(mean, stddev float64) string {
+	return trimFloat(mean) + "±" + trimFloat(stddev)
+}
+
 // Histogram renders labeled counts as horizontal bars scaled to
 // maxWidth characters.
 func Histogram(w io.Writer, labels []string, counts []int64, maxWidth int) {
@@ -183,11 +188,4 @@ func Histogram(w io.Writer, labels []string, counts []int64, maxWidth int) {
 		bar := strings.Repeat("#", int(c*int64(maxWidth)/peak))
 		fmt.Fprintf(w, "%-*s %6d %s\n", labelW, label, c, bar)
 	}
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }

@@ -67,6 +67,12 @@ type Sniffer struct {
 	cfg Config
 	rng *rand.Rand
 
+	// emit, when set, switches the sniffer into streaming mode: every
+	// captured record is handed to the callback at capture time and
+	// nothing is retained, so memory stays flat over arbitrarily long
+	// runs. See SetEmit.
+	emit func(capture.Record)
+
 	records []capture.Record
 	// arena holds all captured frame bytes back to back; each record's
 	// Frame aliases a span of it. One growing buffer replaces one
@@ -131,8 +137,22 @@ func (s *Sniffer) memoFor(id int, power float64, pos sim.Position) *txMemo {
 	return m
 }
 
-// Records returns the captured trace in arrival order.
+// Records returns the captured trace in arrival order. In streaming
+// mode (SetEmit) nothing is retained and Records stays empty.
 func (s *Sniffer) Records() []capture.Record { return s.records }
+
+// SetEmit switches the sniffer into streaming mode: every captured
+// record is passed to fn as it is captured instead of being appended
+// to Records, so the sniffer's memory use is independent of run
+// length. The record's Frame aliases a buffer the simulator reuses —
+// it is valid only during the fn call; a consumer that retains the
+// record must copy the bytes. The capture decision path, loss
+// accounting, and RNG stream are identical to the materializing mode,
+// so a streamed run is record-for-record the same as a recorded one.
+// Set before the simulation starts; records are delivered in
+// observation order (non-decreasing transmission-end time), which can
+// lag start-time order by up to one frame airtime.
+func (s *Sniffer) SetEmit(fn func(capture.Record)) { s.emit = fn }
 
 // Config returns the sniffer's configuration.
 func (s *Sniffer) Config() Config { return s.cfg }
@@ -196,6 +216,22 @@ func (s *Sniffer) ObserveTransmission(o sim.TxObservation) {
 	frame := o.Frame
 	if len(frame) > s.cfg.SnapLen {
 		frame = frame[:s.cfg.SnapLen]
+	}
+	if s.emit != nil {
+		// Streaming mode: hand the record over without retaining
+		// anything. Frame still aliases the simulator's buffer.
+		s.emit(capture.Record{
+			Time:      o.Time,
+			Rate:      o.Rate,
+			Channel:   o.Channel,
+			SignalDBm: clampDBm(rx),
+			NoiseDBm:  clampDBm(env.NoiseFloorDBm),
+			SnifferID: s.cfg.ID,
+			OrigLen:   o.WireLen,
+			Frame:     frame,
+		})
+		s.Captured++
+		return
 	}
 	// Copy the frame bytes into the arena (o.Frame aliases a reused
 	// simulator buffer) and grow the record slice in chunks sized by

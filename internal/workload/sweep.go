@@ -61,8 +61,21 @@ func DefaultSweep() Sweep {
 // DurationSec returns the sweep's total simulated time.
 func (s Sweep) DurationSec() int { return s.Stations*s.StepSec + s.TailSec }
 
-// Run executes the sweep and returns the sniffer trace.
-func (s Sweep) Run() ([]capture.Record, *sniffer.Sniffer, *sim.Network) {
+// Scale shrinks or grows the sweep's population and full-load tail
+// together (the per-station load and activation cadence stay fixed,
+// so the utilization ramp keeps its slope).
+func (s Sweep) Scale(f float64) Sweep {
+	if f <= 0 {
+		return s
+	}
+	s.Stations = max(int(float64(s.Stations)*f+0.5), 2)
+	s.TailSec = max(int(float64(s.TailSec)*f+0.5), 5)
+	return s
+}
+
+// Build constructs the sweep's network, AP, sniffer, and activation
+// schedule without running it. Call Run or RunStream to execute.
+func (s Sweep) Build() (*sim.Network, *sniffer.Sniffer) {
 	if s.RateFactory == nil {
 		s.RateFactory = rate.NewMixedFactory()
 	}
@@ -93,11 +106,27 @@ func (s Sweep) Run() ([]capture.Record, *sniffer.Sniffer, *sim.Network) {
 		}
 		p := net.PickProfile(mix)
 		at := phy.Micros(i*s.StepSec) * phy.MicrosPerSecond
-		net.Schedule(at, func() { net.StartTraffic(st, p, s.Load) })
+		load := s.Load
+		net.Schedule(at, func() { net.StartTraffic(st, p, load) })
 	}
+	return net, sn
+}
 
+// Run executes the sweep and returns the sniffer trace.
+func (s Sweep) Run() ([]capture.Record, *sniffer.Sniffer, *sim.Network) {
+	net, sn := s.Build()
 	net.RunFor(phy.Micros(s.DurationSec()) * phy.MicrosPerSecond)
 	return sn.Records(), sn, net
+}
+
+// RunStream executes the sweep, streaming every captured record to
+// emit at capture time (see Sniffer.SetEmit for the aliasing and
+// ordering contract); nothing is materialized.
+func (s Sweep) RunStream(emit func(capture.Record)) (*sniffer.Sniffer, *sim.Network) {
+	net, sn := s.Build()
+	sn.SetEmit(emit)
+	net.RunFor(phy.Micros(s.DurationSec()) * phy.MicrosPerSecond)
+	return sn, net
 }
 
 // ShiftTrace returns a copy of recs with all timestamps offset by d,
@@ -132,21 +161,16 @@ func MultiSweep(ladder []Sweep) []capture.Record {
 }
 
 // DefaultLadder returns the sweep ladder the figure benches use.
-// scale in (0,1] shrinks every run for quicker benches.
+// scale below 1 shrinks every run for quicker benches; above 1 grows
+// the populations and tails (matching Session.Scale's behaviour, so
+// matrix rows labelled with a scale ran at that scale).
 func DefaultLadder(scale float64) []Sweep {
-	if scale <= 0 || scale > 1 {
+	if scale <= 0 {
 		scale = 1
 	}
 	shrink := func(s Sweep, stations int, tail int) Sweep {
-		s.Stations = int(float64(stations)*scale + 0.5)
-		if s.Stations < 2 {
-			s.Stations = 2
-		}
-		s.TailSec = int(float64(tail)*scale + 0.5)
-		if s.TailSec < 5 {
-			s.TailSec = 5
-		}
-		return s
+		s.Stations, s.TailSec = stations, tail
+		return s.Scale(scale)
 	}
 	low := DefaultSweep()
 	low.Seed = 11

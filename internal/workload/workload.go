@@ -244,9 +244,16 @@ func (b *Built) Run() []capture.Record {
 	return capture.Merge(traces...)
 }
 
-func max(a, b int) int {
-	if a > b {
-		return a
+// RunStream executes the scenario, streaming every record any sniffer
+// captures to emit at capture time instead of materializing traces —
+// peak memory is independent of the session length. Records arrive in
+// observation order (non-decreasing transmission-end time across all
+// sniffers); each record's Frame aliases a simulator buffer valid
+// only during the emit call. The experiment package's reordering
+// bridge turns this stream into the time-sorted order Run produces.
+func (b *Built) RunStream(emit func(capture.Record)) {
+	for _, sn := range b.Sniffers {
+		sn.SetEmit(emit)
 	}
-	return b
+	b.Net.RunFor(phy.Micros(b.Session.DurationSec) * phy.MicrosPerSecond)
 }
