@@ -16,6 +16,9 @@
 //	ietfrepro -scale 0.5      # faster, smaller runs
 //	ietfrepro -only 8         # just Figure 8
 //	ietfrepro -sweep 4        # seeds×scales robustness matrix instead of figures
+//	ietfrepro -sweep 4 -grid  # matrix including the multi-cell grid scenarios
+//	                          # (beyond the paper: interference grids, roaming
+//	                          # mobiles, mixed b/g, ≥2 sniffers per channel)
 package main
 
 import (
@@ -34,6 +37,7 @@ func main() {
 		only    = flag.Int("only", 0, "print only this figure number (0 = everything)")
 		workers = flag.Int("workers", 0, "concurrent scenario runs (0 = GOMAXPROCS)")
 		sweep   = flag.Int("sweep", 0, "run the day/plenary/ladder matrix over N seeds and print mean±stddev aggregates instead of figures")
+		grid    = flag.Bool("grid", false, "include the multi-cell grid scenarios in the -sweep matrix (implies -sweep 1 when unset)")
 	)
 	flag.Parse()
 
@@ -42,8 +46,11 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *grid && *sweep <= 0 {
+		*sweep = 1
+	}
 	if *sweep > 0 {
-		runMatrix(*sweep, *scale, *workers)
+		runMatrix(*sweep, *scale, *workers, *grid)
 		return
 	}
 
@@ -143,12 +150,16 @@ func main() {
 }
 
 // runMatrix is the -sweep mode: the three repro scenarios × N seeds
-// at the given scale, aggregated to mean±stddev per scenario — a
-// robustness check that the headline numbers are not one-seed flukes.
-func runMatrix(nSeeds int, scale float64, workers int) {
+// at the given scale (plus the grid scenarios with -grid), aggregated
+// to mean±stddev per scenario — a robustness check that the headline
+// numbers are not one-seed flukes.
+func runMatrix(nSeeds int, scale float64, workers int, grid bool) {
 	m := experiment.Matrix{
 		Scenarios: []string{"day", "plenary", "ladder"},
 		Scales:    []float64{scale},
+	}
+	if grid {
+		m.Scenarios = append(m.Scenarios, "grid", "grid9")
 	}
 	for s := int64(1); s <= int64(nSeeds); s++ {
 		m.Seeds = append(m.Seeds, s)

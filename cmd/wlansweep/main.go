@@ -9,6 +9,11 @@
 //
 //	wlansweep                                         # day+plenary, 4 seeds, scale 0.25
 //	wlansweep -scenarios sweep,ladder -scales 0.2,0.4
+//	wlansweep -scenarios grid -runs 4 -scales 1.0     # 2×2 multi-cell grid: co-channel
+//	                                                  # interference, roaming mobiles,
+//	                                                  # mixed b/g, 2 sniffers/channel
+//	wlansweep -scenarios grid9 -reduce -runs 16       # 3×3 grid, reduce-as-you-go:
+//	                                                  # only aggregate rows retained
 //	wlansweep -seeds 62,63,64,65 -scales 0.5 -workers 4
 //	wlansweep -runs 8 -json matrix.json               # 8 seeds per cell + JSON archive
 //	wlansweep -list                                   # registered scenarios
@@ -55,6 +60,7 @@ func main() {
 		workers   = flag.Int("workers", 0, "concurrent runs (0 = GOMAXPROCS)")
 		metrics   = flag.String("metrics", "", "comma-separated analysis stages (default: all)")
 		jsonOut   = flag.String("json", "", "also write the full report as JSON to this path (- = stdout)")
+		reduce    = flag.Bool("reduce", false, "reduce as you go: retain only aggregate rows, not per-run results (for very large matrices; -json omits runs)")
 		list      = flag.Bool("list", false, "list registered scenarios and exit")
 	)
 	flag.Parse()
@@ -85,21 +91,37 @@ func main() {
 		fatal(err)
 	}
 	eng := &experiment.Engine{Workers: *workers, Metrics: splitList(*metrics)}
-	results := eng.Run(specs)
-	aggs := experiment.Aggregate(results)
-
+	var results []experiment.RunResult
+	var aggs []experiment.Aggregated
 	failed := 0
-	for _, r := range results {
-		if r.Err != nil {
-			failed++
-			fmt.Fprintf(os.Stderr, "wlansweep: %s seed=%d scale=%g: %v\n", r.Spec.Name, r.Spec.Seed, r.Spec.Scale, r.Err)
+	if *reduce {
+		// Reduce-as-you-go: per-run Results are dropped the moment
+		// their summary folds into the aggregates, so the matrix size
+		// no longer bounds memory.
+		var errs []error
+		aggs, errs = eng.RunReduce(specs)
+		for i, err := range errs {
+			if err != nil {
+				failed++
+				s := specs[i]
+				fmt.Fprintf(os.Stderr, "wlansweep: %s seed=%d scale=%g: %v\n", s.Name, s.Seed, s.Scale, err)
+			}
+		}
+	} else {
+		results = eng.Run(specs)
+		aggs = experiment.Aggregate(results)
+		for _, r := range results {
+			if r.Err != nil {
+				failed++
+				fmt.Fprintf(os.Stderr, "wlansweep: %s seed=%d scale=%g: %v\n", r.Spec.Name, r.Spec.Seed, r.Spec.Scale, r.Err)
+			}
 		}
 	}
 
 	// With -json - the JSON document owns stdout; the table would
 	// corrupt it for any consumer.
 	if *jsonOut != "-" {
-		title := fmt.Sprintf("Experiment matrix (%d runs)", len(results))
+		title := fmt.Sprintf("Experiment matrix (%d runs)", len(specs))
 		experiment.AggregateTable(title, aggs).WriteTo(os.Stdout)
 	}
 

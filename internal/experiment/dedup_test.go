@@ -1,0 +1,181 @@
+package experiment
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"wlan80211/internal/capture"
+	"wlan80211/internal/phy"
+)
+
+// synthTx is one synthetic transmission for the dedup fuzzers.
+type synthTx struct {
+	rec      capture.Record // canonical record (SnifferID/Signal unset)
+	end      phy.Micros
+	captured []int // ascending sniffer indices that captured it
+}
+
+// genObservations builds a randomized transmission sequence on the
+// 1/6/11 channels — overlapping airtimes, occasional identical start
+// times — and assigns every transmission a random nonempty subset of k
+// sniffers that captured it. Returned in delivery (end-time) order.
+func genObservations(rng *rand.Rand, n, k int) []synthTx {
+	rates := []phy.Rate{phy.Rate1Mbps, phy.Rate2Mbps, phy.Rate5_5Mbps, phy.Rate11Mbps, phy.Rate54Mbps}
+	var t phy.Micros
+	txs := make([]synthTx, n)
+	for i := range txs {
+		t += phy.Micros(rng.Intn(400)) // 0 gaps → equal start times
+		wire := 60 + rng.Intn(1400)
+		r := rates[rng.Intn(len(rates))]
+		frame := make([]byte, 24+rng.Intn(64))
+		rng.Read(frame)
+		// Embed the index so distinct transmissions never alias.
+		frame[0], frame[1] = byte(i), byte(i>>8)
+		var caps []int
+		for s := 0; s < k; s++ {
+			if rng.Intn(3) > 0 { // each sniffer catches ~2/3 of frames
+				caps = append(caps, s)
+			}
+		}
+		if len(caps) == 0 {
+			caps = []int{rng.Intn(k)}
+		}
+		txs[i] = synthTx{
+			rec: capture.Record{
+				Time:     t,
+				Rate:     r,
+				Channel:  phy.OrthogonalChannels[rng.Intn(3)],
+				NoiseDBm: -96,
+				OrigLen:  wire,
+				Frame:    frame,
+			},
+			end:      t + phy.Airtime(wire, r),
+			captured: caps,
+		}
+	}
+	// Deliver in end order (stable for equal ends).
+	for i := 1; i < len(txs); i++ {
+		for j := i; j > 0 && txs[j].end < txs[j-1].end; j-- {
+			txs[j], txs[j-1] = txs[j-1], txs[j]
+		}
+	}
+	return txs
+}
+
+// snifferCopy is tx's record as sniffer s captured it: same air facts,
+// jittered per-sniffer reception metadata.
+func snifferCopy(tx synthTx, s int) capture.Record {
+	rec := tx.rec
+	rec.SnifferID = s + 1
+	rec.SignalDBm = int8(-40 - s - int(tx.rec.Time%7)) // jitter: differs per sniffer
+	return rec
+}
+
+// TestDedupFuzzMatchesReference streams k jittered sniffer copies of
+// randomized transmission sequences through the dedup window and
+// checks the output is exactly the single-copy reference: one record
+// per transmission, the lowest-ID capturing sniffer's copy, in
+// delivery order.
+func TestDedupFuzzMatchesReference(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		k := 2 + rng.Intn(3)
+		txs := genObservations(rng, 400, k)
+
+		var got []capture.Record
+		dd := NewDedup(func(rec capture.Record) {
+			cp := rec
+			cp.Frame = append([]byte(nil), rec.Frame...)
+			got = append(got, cp)
+		})
+		copies := 0
+		for _, tx := range txs {
+			for _, s := range tx.captured {
+				copies++
+				dd.Add(snifferCopy(tx, s))
+			}
+		}
+
+		if len(got) != len(txs) {
+			t.Fatalf("seed %d: %d records out, want %d (one per transmission)", seed, len(got), len(txs))
+		}
+		if want := int64(copies - len(txs)); dd.Dropped != want {
+			t.Fatalf("seed %d: Dropped = %d, want %d", seed, dd.Dropped, want)
+		}
+		for i, tx := range txs {
+			want := snifferCopy(tx, tx.captured[0])
+			if !reflect.DeepEqual(got[i], want) {
+				t.Fatalf("seed %d: record %d = %+v, want first capturer's copy %+v", seed, i, got[i], want)
+			}
+		}
+		if dd.MaxPending() > 256 {
+			t.Fatalf("seed %d: dedup table high-water mark %d; want bounded", seed, dd.MaxPending())
+		}
+	}
+}
+
+// TestDedupReorderMatchesMerge is the streaming bridge's multi-sniffer
+// acceptance property: for randomized jittered k-sniffer streams, the
+// dedup window followed by the reordering stage must reproduce
+// capture.Merge of the materialized per-sniffer traces bit for bit —
+// duplicates collapsed to the same copy, order identical including
+// equal-time tie-breaks.
+func TestDedupReorderMatchesMerge(t *testing.T) {
+	for seed := int64(100); seed < 120; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		k := 2 + rng.Intn(3)
+		txs := genObservations(rng, 500, k)
+
+		// Materialized path: per-sniffer traces in capture order.
+		traces := make([][]capture.Record, k)
+		for _, tx := range txs {
+			for _, s := range tx.captured {
+				traces[s] = append(traces[s], snifferCopy(tx, s))
+			}
+		}
+		want := capture.Merge(traces...)
+
+		// Streaming path: interleaved arrival, dedup, reorder.
+		var got []capture.Record
+		ro := NewReorder(func(rec capture.Record) {
+			cp := rec
+			cp.Frame = append([]byte(nil), rec.Frame...)
+			got = append(got, cp)
+		})
+		dd := NewDedup(ro.Add)
+		for _, tx := range txs {
+			for _, s := range tx.captured {
+				dd.Add(snifferCopy(tx, s))
+			}
+		}
+		ro.Flush()
+
+		if !reflect.DeepEqual(got, want) {
+			if len(got) != len(want) {
+				t.Fatalf("seed %d: streamed %d records, merged %d", seed, len(got), len(want))
+			}
+			for i := range got {
+				if !reflect.DeepEqual(got[i], want[i]) {
+					t.Fatalf("seed %d: record %d differs:\n streamed %+v\n merged   %+v", seed, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestDedupPassThroughSingleSniffer pins the transparency property the
+// pre-dedup scenarios rely on: a single-sniffer stream passes through
+// untouched.
+func TestDedupPassThroughSingleSniffer(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	txs := genObservations(rng, 300, 1)
+	var got []capture.Record
+	dd := NewDedup(func(rec capture.Record) { got = append(got, rec) })
+	for _, tx := range txs {
+		dd.Add(snifferCopy(tx, 0))
+	}
+	if len(got) != len(txs) || dd.Dropped != 0 {
+		t.Fatalf("single-sniffer stream altered: %d in, %d out, %d dropped", len(txs), len(got), dd.Dropped)
+	}
+}

@@ -145,6 +145,10 @@ type Engine struct {
 	Workers int
 	// Metrics selects analysis stages by name (empty = all).
 	Metrics []string
+
+	// peakPending is RunReduce's retention high-water mark (see
+	// PeakPending).
+	peakPending int
 }
 
 // Run executes every spec and returns results in spec order, so
@@ -180,7 +184,11 @@ func (e *Engine) Run(specs []Spec) []RunResult {
 }
 
 // runOne executes one cell: build, stream through the reordering
-// bridge into a fresh sequential analyzer, summarize. The analyzer
+// bridge into a fresh sequential analyzer, summarize. Runs that
+// declare multi-sniffer channels (MultiSnifferRun) stream through the
+// Dedup window first, which collapses cross-sniffer duplicates
+// exactly as the materialized path's capture.Merge does; everything
+// else keeps the direct, per-frame-overhead-free path. The analyzer
 // runs unsharded — cross-run parallelism already saturates the pool,
 // and the sequential path is the one that never retains frame bytes,
 // which is what lets the whole pipeline run without materializing.
@@ -194,13 +202,149 @@ func (e *Engine) runOne(spec Spec) RunResult {
 		return RunResult{Spec: spec, Err: err}
 	}
 	ro := NewReorder(a.Feed)
-	if err := run.Stream(ro.Add); err != nil {
+	sink := ro.Add
+	if ms, ok := run.(MultiSnifferRun); ok && ms.MultiSniffer() {
+		sink = NewDedup(ro.Add).Add
+	}
+	if err := run.Stream(sink); err != nil {
 		return RunResult{Spec: spec, Err: err}
 	}
 	ro.Flush()
 	r := a.Result()
 	return RunResult{Spec: spec, Summary: Summarize(r), Result: r}
 }
+
+// RunReduce executes every spec like Run but reduces as it goes: each
+// completed run's full analysis Result is dropped the moment its
+// Summary is extracted, and summaries fold into per-group Welford
+// accumulators in spec order (buffering at most one small Summary per
+// worker to bridge out-of-order completion). Peak retention is
+// therefore O(groups + workers) — not O(runs) — which is what makes
+// very large matrices (hundreds of cells × many seeds) run in flat
+// memory. The aggregates are bit-identical to
+// Aggregate(e.Run(specs)); per-spec failures land in the returned
+// error slice (nil entries for successes) and count in
+// Aggregated.Errors.
+func (e *Engine) RunReduce(specs []Spec) ([]Aggregated, []error) {
+	workers := e.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(specs) {
+		workers = len(specs)
+	}
+
+	// Group bookkeeping in spec order, mirroring Aggregate.
+	type key struct {
+		name  string
+		scale float64
+	}
+	groupOf := make([]int, len(specs))
+	index := make(map[key]int)
+	var order []key
+	for i, s := range specs {
+		k := key{s.Name, s.Scale}
+		gi, ok := index[k]
+		if !ok {
+			gi = len(order)
+			index[k] = gi
+			order = append(order, k)
+		}
+		groupOf[i] = gi
+	}
+	aggs := make([]Aggregated, len(order))
+	accs := make([][]stats.Welford, len(order))
+	for gi, k := range order {
+		aggs[gi] = Aggregated{Scenario: k.name, Scale: k.scale}
+		accs[gi] = make([]stats.Welford, len(summaryFields))
+	}
+
+	type done struct {
+		i   int
+		sum Summary
+		err error
+	}
+	results := make(chan done)
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				r := e.runOne(specs[i])
+				r.Result = nil // reduce-as-you-go: only the Summary survives
+				results <- done{i: i, sum: r.Summary, err: r.Err}
+			}
+		}()
+	}
+
+	// Fold summaries strictly in spec order so the float accumulation
+	// order — and therefore every mean and stddev bit — is independent
+	// of worker count and completion order. Dispatch is windowed: spec
+	// i is not handed out until spec i-workers has been reduced, which
+	// caps the out-of-order buffer at the worker count by construction
+	// (a slow head-of-line run may briefly idle the other workers —
+	// the price of a retention bound that does not degrade to O(runs)).
+	errs := make([]error, len(specs))
+	pending := make(map[int]done, workers)
+	sent, next, peak := 0, 0, 0
+	apply := func(r done) {
+		gi := groupOf[r.i]
+		if r.err != nil {
+			errs[r.i] = r.err
+			aggs[gi].Errors++
+			return
+		}
+		aggs[gi].Runs++
+		for fi, f := range summaryFields {
+			accs[gi][fi].Add(f.Get(r.sum))
+		}
+	}
+	for completed := 0; completed < len(specs); {
+		var r done
+		if sent < len(specs) && sent < next+workers {
+			select {
+			case jobs <- sent:
+				sent++
+				continue
+			case r = <-results:
+			}
+		} else {
+			r = <-results
+		}
+		completed++
+		pending[r.i] = r
+		if len(pending) > peak {
+			peak = len(pending)
+		}
+		for {
+			q, ok := pending[next]
+			if !ok {
+				break
+			}
+			delete(pending, next)
+			apply(q)
+			next++
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	e.peakPending = peak
+
+	for gi := range aggs {
+		aggs[gi].Fields = make([]FieldStat, len(summaryFields))
+		for fi, f := range summaryFields {
+			aggs[gi].Fields[fi] = FieldStat{Name: f.Name, Mean: accs[gi][fi].Mean(), Stddev: accs[gi][fi].Stddev()}
+		}
+	}
+	return aggs, errs
+}
+
+// PeakPending reports how many completed-but-not-yet-reduced
+// summaries the last RunReduce held at once (≤ its worker count) —
+// the retention the reduce mode's memory claim rests on.
+func (e *Engine) PeakPending() int { return e.peakPending }
 
 // FieldStat is one aggregated summary field.
 type FieldStat struct {

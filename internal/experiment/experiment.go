@@ -67,6 +67,19 @@ type Run interface {
 	Stream(sink Sink) error
 }
 
+// MultiSnifferRun is optionally implemented by Runs whose stream may
+// contain cross-sniffer duplicate observations (≥2 sniffers sharing a
+// channel). The engine routes such streams through the Dedup window;
+// everything else keeps the direct, dedup-free hot path. A Run that
+// places several sniffers on one channel and does not implement this
+// double-counts transmissions relative to the materialized
+// capture.Merge path.
+type MultiSnifferRun interface {
+	Run
+	// MultiSniffer reports whether any channel has ≥2 sniffers.
+	MultiSniffer() bool
+}
+
 // Factory builds a scenario variant for one matrix cell. A zero seed
 // keeps the scenario's default seed; scale is the workload Scale
 // factor (1.0 = full size).

@@ -40,12 +40,14 @@ type pendingRec struct {
 
 // Reorder is the streaming bridge's sorting stage: records added in
 // observation (end-time) order are released to the sink in start-time
-// order, ties broken by arrival — exactly the order capture.Merge's
-// stable timestamp sort produces for the same records. Not safe for
-// concurrent use; each run gets its own Reorder.
+// order, ties broken by sniffer ID then arrival — exactly the order
+// capture.Merge's stable timestamp sort produces for the same records
+// (Merge sorts the concatenation of per-sniffer traces, so its tie
+// order is sniffer registration order, then within-trace capture
+// order). Not safe for concurrent use; each run gets its own Reorder.
 type Reorder struct {
 	sink Sink
-	// heap is a binary min-heap on (rec.Time, seq).
+	// heap is a binary min-heap on (rec.Time, rec.SnifferID, seq).
 	heap []pendingRec
 	free [][]byte
 	seq  uint64
@@ -115,10 +117,14 @@ func (r *Reorder) release() {
 	r.free = append(r.free, p.buf)
 }
 
-// less orders the heap by (start time, arrival).
+// less orders the heap by (start time, sniffer ID, arrival), the
+// materialized path's stable order.
 func (r *Reorder) less(a, b pendingRec) bool {
 	if a.rec.Time != b.rec.Time {
 		return a.rec.Time < b.rec.Time
+	}
+	if a.rec.SnifferID != b.rec.SnifferID {
+		return a.rec.SnifferID < b.rec.SnifferID
 	}
 	return a.seq < b.seq
 }

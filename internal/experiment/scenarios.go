@@ -8,15 +8,17 @@ import (
 	"wlan80211/internal/workload"
 )
 
-// This file adapts the workload package's three experiment shapes —
-// Session (day/plenary), Sweep (single-cell load ramp), and sweep
-// ladders — to the Scenario interface, and registers the built-in
-// variants the paper's reproduction uses.
+// This file adapts the workload package's experiment shapes — Session
+// (day/plenary), Sweep (single-cell load ramp), sweep ladders, and
+// multi-cell Grids — to the Scenario interface, and registers the
+// built-in variants.
 //
-// Every built-in scenario places at most one sniffer per channel, so
-// a streamed run never produces the cross-sniffer duplicates that
-// capture.Merge would deduplicate — which is what makes the streaming
-// and materialized paths bit-identical.
+// The paper-reproduction scenarios place at most one sniffer per
+// channel; the grid scenarios place several, producing cross-sniffer
+// duplicate observations. The engine's streaming dedup window
+// collapses those exactly as the materialized path's capture.Merge
+// does, so both kinds stream bit-identically to their materialized
+// reference.
 
 func init() {
 	Register("day", func(seed int64, scale float64) Scenario {
@@ -48,6 +50,20 @@ func init() {
 			}
 		}
 		return NewLadder("ladder", ladder)
+	})
+	Register("grid", func(seed int64, scale float64) Scenario {
+		g := workload.DefaultGrid()
+		if seed != 0 {
+			g.Seed = seed
+		}
+		return NewGrid("grid", g.Scale(scale))
+	})
+	Register("grid9", func(seed int64, scale float64) Scenario {
+		g := workload.DenseGrid()
+		if seed != 0 {
+			g.Seed = seed
+		}
+		return NewGrid("grid9", g.Scale(scale))
 	})
 }
 
@@ -162,3 +178,46 @@ func (r ladderRun) Stream(sink Sink) error {
 	}
 	return nil
 }
+
+// NewGrid wraps a multi-cell grid (interference, mobility, mixed b/g,
+// multi-sniffer channels) as a Scenario under the given registry name.
+func NewGrid(name string, g workload.Grid) Scenario { return gridScenario{name, g} }
+
+type gridScenario struct {
+	name string
+	g    workload.Grid
+}
+
+func (c gridScenario) Name() string { return c.name }
+
+func (c gridScenario) Params() []Param {
+	return []Param{
+		{"cells", fmt.Sprintf("%dx%d", c.g.Rows, c.g.Cols)},
+		{"duration_s", fmt.Sprint(c.g.DurationSec)},
+		{"stations_per_cell", fmt.Sprint(c.g.StationsPerCell)},
+		{"mobile_stations", fmt.Sprint(c.g.MobileStations)},
+		{"g_fraction", fmt.Sprint(c.g.GFraction)},
+		{"sniffers_per_channel", fmt.Sprint(c.g.SniffersPerChannel)},
+		{"load", fmt.Sprint(c.g.Load)},
+		{"seed", fmt.Sprint(c.g.Seed)},
+	}
+}
+
+func (c gridScenario) Build() (Run, error) {
+	b, err := c.g.Build()
+	if err != nil {
+		return nil, err
+	}
+	return gridRun{b}, nil
+}
+
+type gridRun struct{ b *workload.GridBuilt }
+
+func (r gridRun) Stream(sink Sink) error {
+	r.b.RunStream(sink)
+	return nil
+}
+
+// MultiSniffer implements MultiSnifferRun: grid channels carry ≥2
+// sniffers, so the engine must dedup the stream.
+func (r gridRun) MultiSniffer() bool { return r.b.MultiSniffer() }

@@ -1,0 +1,88 @@
+package phy
+
+import "testing"
+
+// TestOFDMRateProperties pins the identity of the ERP-OFDM rate set:
+// validity, OFDM classification, and exclusion from the paper's b-only
+// category index.
+func TestOFDMRateProperties(t *testing.T) {
+	for _, r := range GRates {
+		if !r.Valid() {
+			t.Errorf("%v not Valid", r)
+		}
+		if !r.OFDM() {
+			t.Errorf("%v not OFDM", r)
+		}
+		if _, ok := r.Index(); ok {
+			t.Errorf("%v has a b-ladder index; the 16-category analysis is b-only", r)
+		}
+	}
+	for _, r := range Rates {
+		if r.OFDM() {
+			t.Errorf("%v wrongly classified OFDM", r)
+		}
+	}
+	if Rate(70).Valid() || Rate(70).OFDM() {
+		t.Error("7 Mbps is not a rate")
+	}
+}
+
+// TestAirtimeOFDM checks the symbol-quantized OFDM airtime against
+// hand-computed values and its place in the airtime ordering.
+func TestAirtimeOFDM(t *testing.T) {
+	// 1500 bytes at 54 Mbps: 16+12000+6 = 12022 bits, 216 bits/symbol
+	// → 56 symbols → 20 + 224 + 6 = 250 µs.
+	if got := Airtime(1500, Rate54Mbps); got != 250 {
+		t.Errorf("Airtime(1500, 54M) = %d, want 250", got)
+	}
+	// 1500 bytes at 6 Mbps: 12022 bits / 24 = 501 symbols → 20 + 2004 + 6.
+	if got := Airtime(1500, Rate6Mbps); got != 2030 {
+		t.Errorf("Airtime(1500, 6M) = %d, want 2030", got)
+	}
+	// Zero-length frame still costs preamble + one symbol (22 bits).
+	if got := Airtime(0, Rate54Mbps); got != OFDMPreamble+OFDMSymbol+OFDMSignalExtension {
+		t.Errorf("Airtime(0, 54M) = %d", got)
+	}
+	// Faster rates never take longer, and every OFDM airtime fits the
+	// reorder horizon implied by 1 Mbps DSSS.
+	for n := 0; n <= 2346; n += 123 {
+		prev := Airtime(n, Rate6Mbps)
+		for _, r := range GRates[1:] {
+			cur := Airtime(n, r)
+			if cur > prev {
+				t.Fatalf("Airtime(%d, %v) = %d exceeds slower rate's %d", n, r, cur, prev)
+			}
+			prev = cur
+		}
+		if Airtime(n, Rate6Mbps) > Airtime(n, Rate1Mbps) {
+			t.Fatalf("6 Mbps OFDM slower than 1 Mbps DSSS at %d bytes", n)
+		}
+	}
+}
+
+// TestOFDMFEROrdering checks the property rate adaptation rests on:
+// at any SNR, a faster OFDM rate never has a lower FER, and every
+// curve is non-increasing in SNR.
+func TestOFDMFEROrdering(t *testing.T) {
+	const n = 1000
+	for snr := -5.0; snr <= 35; snr += 0.25 {
+		prev := -1.0
+		for _, r := range GRates {
+			f := FER(snr, n, r)
+			if f < prev {
+				t.Fatalf("FER(%v, %v) = %g below slower rate's %g", snr, r, f, prev)
+			}
+			prev = f
+		}
+	}
+	for _, r := range GRates {
+		prev := 2.0
+		for snr := -5.0; snr <= 35; snr += 0.25 {
+			f := FER(snr, n, r)
+			if f > prev {
+				t.Fatalf("FER(%v, %v) increased with SNR", snr, r)
+			}
+			prev = f
+		}
+	}
+}

@@ -1,6 +1,8 @@
-// Package phy models the IEEE 802.11b physical layer: the four DSSS/CCK
-// data rates, channelization in the 2.4 GHz ISM band, PLCP framing
-// overhead, frame airtime, and a signal-propagation / frame-error model.
+// Package phy models the IEEE 802.11b physical layer — the four
+// DSSS/CCK data rates, channelization in the 2.4 GHz ISM band, PLCP
+// framing overhead, frame airtime, and a signal-propagation /
+// frame-error model — plus the eight 802.11g ERP-OFDM rates used by
+// the mixed-b/g scenario extensions.
 //
 // All timing in this package is expressed in integer microseconds, the
 // native unit of 802.11 MAC timing (see Table 2 of Jardosh et al., IMC
@@ -18,8 +20,8 @@ type Micros = int64
 // MicrosPerSecond is the number of microseconds in one second.
 const MicrosPerSecond Micros = 1_000_000
 
-// Rate identifies one of the four IEEE 802.11b data rates. The value is
-// the rate in units of 100 kbps: Rate1Mbps == 10, Rate11Mbps == 110.
+// Rate identifies an IEEE 802.11b or 802.11g data rate. The value is
+// the rate in units of 100 kbps: Rate1Mbps == 10, Rate54Mbps == 540.
 type Rate uint16
 
 // The four 802.11b data rates.
@@ -30,13 +32,45 @@ const (
 	Rate11Mbps  Rate = 110 // 11 Mbps CCK
 )
 
-// Rates lists the 802.11b rates from slowest to fastest.
+// The eight 802.11g ERP-OFDM data rates. The paper's network (and its
+// sniffers) was 802.11b-only; these exist for the mixed-b/g scenario
+// extensions, where g-capable radios share the 2.4 GHz channels with
+// b-only ones.
+const (
+	Rate6Mbps  Rate = 60  // BPSK 1/2
+	Rate9Mbps  Rate = 90  // BPSK 3/4
+	Rate12Mbps Rate = 120 // QPSK 1/2
+	Rate18Mbps Rate = 180 // QPSK 3/4
+	Rate24Mbps Rate = 240 // 16-QAM 1/2
+	Rate36Mbps Rate = 360 // 16-QAM 3/4
+	Rate48Mbps Rate = 480 // 64-QAM 2/3
+	Rate54Mbps Rate = 540 // 64-QAM 3/4
+)
+
+// Rates lists the 802.11b rates from slowest to fastest. The paper's
+// 16 size×rate analysis categories are built on this set, so it stays
+// b-only; OFDM rates have no category index.
 var Rates = [4]Rate{Rate1Mbps, Rate2Mbps, Rate5_5Mbps, Rate11Mbps}
 
-// Valid reports whether r is one of the four 802.11b rates.
+// GRates lists the ERP-OFDM rates from slowest to fastest.
+var GRates = [8]Rate{Rate6Mbps, Rate9Mbps, Rate12Mbps, Rate18Mbps, Rate24Mbps, Rate36Mbps, Rate48Mbps, Rate54Mbps}
+
+// Valid reports whether r is an 802.11b DSSS/CCK or 802.11g ERP-OFDM
+// rate.
 func (r Rate) Valid() bool {
 	switch r {
 	case Rate1Mbps, Rate2Mbps, Rate5_5Mbps, Rate11Mbps:
+		return true
+	}
+	return r.OFDM()
+}
+
+// OFDM reports whether r is an 802.11g ERP-OFDM rate (as opposed to an
+// 802.11b DSSS/CCK rate). OFDM frames use different PLCP timing and
+// cannot be demodulated by b-only radios.
+func (r Rate) OFDM() bool {
+	switch r {
+	case Rate6Mbps, Rate9Mbps, Rate12Mbps, Rate18Mbps, Rate24Mbps, Rate36Mbps, Rate48Mbps, Rate54Mbps:
 		return true
 	}
 	return false

@@ -12,7 +12,9 @@ func TestRateValid(t *testing.T) {
 			t.Errorf("%v should be valid", r)
 		}
 	}
-	for _, r := range []Rate{0, 5, 15, 30, 60, 120} {
+	// 60 and 120 became the 6/12 Mbps ERP-OFDM rates; 70 and 330 stay
+	// outside both ladders.
+	for _, r := range []Rate{0, 5, 15, 30, 70, 330} {
 		if r.Valid() {
 			t.Errorf("Rate(%d) should be invalid", r)
 		}

@@ -102,6 +102,34 @@ func BER(snrDB float64, r Rate) float64 {
 	return berLinear(math.Pow(10, snrDB/10), r)
 }
 
+// ofdmGain is the effective Eb/N0 multiplier for each ERP-OFDM rate:
+// coding gain and constellation density folded into one factor,
+// calibrated so the FER waterfalls sit near the SNRs commodity 802.11g
+// radios need (≈8 dB for 6 Mbps up to ≈25 dB for 54 Mbps) while
+// keeping the strict per-SNR ordering that makes rate adaptation
+// meaningful. Zero for non-OFDM rates.
+func ofdmGain(r Rate) float64 {
+	switch r {
+	case Rate6Mbps:
+		return 4.0
+	case Rate9Mbps:
+		return 3.0
+	case Rate12Mbps:
+		return 2.0
+	case Rate18Mbps:
+		return 1.4
+	case Rate24Mbps:
+		return 0.62
+	case Rate36Mbps:
+		return 0.30
+	case Rate48Mbps:
+		return 0.13
+	case Rate54Mbps:
+		return 0.095
+	}
+	return 0
+}
+
 // berLinear is BER with the SNR already converted to linear scale, so
 // a caller evaluating several rates at one SNR (FER does: PLCP at
 // 1 Mbps plus the body rate) pays for the dB→linear Pow once.
@@ -117,7 +145,15 @@ func berLinear(snr float64, r Rate) float64 {
 	case Rate11Mbps:
 		ebn0 = snr * 1.0
 	default:
-		return 1
+		g := ofdmGain(r)
+		if g == 0 {
+			return 1
+		}
+		ber := 0.5 * math.Exp(-snr*g)
+		if ber > 0.5 {
+			ber = 0.5
+		}
+		return ber
 	}
 	var ber float64
 	switch r {
@@ -154,6 +190,26 @@ func ferZeroSNRdB(r Rate) float64 {
 		return 14.5 // 1.5·snr_lin ≥ 40
 	case Rate11Mbps:
 		return 19.5 // 0.5·snr_lin ≥ 40
+	}
+	// OFDM rates: gain·snr_lin ≥ 40 at 10·log10(40/gain) dB; the same
+	// ≈8% margin. All thresholds dominate the 1 Mbps PLCP threshold.
+	switch r {
+	case Rate6Mbps:
+		return 10.4 // 4.0·snr_lin ≥ 40 at 10.0 dB
+	case Rate9Mbps:
+		return 11.6 // 3.0·snr_lin ≥ 40 at 11.25 dB
+	case Rate12Mbps:
+		return 13.4 // 2.0·snr_lin ≥ 40 at 13.0 dB
+	case Rate18Mbps:
+		return 14.9 // 1.4·snr_lin ≥ 40 at 14.6 dB
+	case Rate24Mbps:
+		return 18.5 // 0.62·snr_lin ≥ 40 at 18.1 dB
+	case Rate36Mbps:
+		return 21.6 // 0.30·snr_lin ≥ 40 at 21.2 dB
+	case Rate48Mbps:
+		return 25.3 // 0.13·snr_lin ≥ 40 at 24.9 dB
+	case Rate54Mbps:
+		return 26.6 // 0.095·snr_lin ≥ 40 at 26.2 dB
 	}
 	return math.Inf(1) // unknown rate: BER is 1, no fast path
 }

@@ -23,7 +23,7 @@ func ferFull(snrDB float64, lengthBytes int, r Rate) float64 {
 // bit for bit. The simulator's golden-trace guarantee rests on this.
 func TestFERFastPathBitIdentical(t *testing.T) {
 	lengths := []int{0, 14, 250, 1500, 4096}
-	for _, r := range Rates {
+	for _, r := range append(Rates[:], GRates[:]...) {
 		thr := ferZeroSNRdB(r)
 		for snr := thr - 8; snr <= thr+12; snr += 0.097 {
 			for _, n := range lengths {

@@ -28,6 +28,14 @@ const (
 	// ackAirtime1Mbps is the airtime of a 14-byte ACK at 1 Mbps
 	// including the long PLCP preamble: 192 + 14*8 = 304.
 	ackAirtime1Mbps Micros = PLCPLongPreamble + 14*8
+
+	// OFDMPreamble is the ERP-OFDM PLCP preamble + SIGNAL duration.
+	OFDMPreamble Micros = 20
+	// OFDMSymbol is the OFDM symbol duration.
+	OFDMSymbol Micros = 4
+	// OFDMSignalExtension is the 802.11g-in-2.4-GHz quiet tail appended
+	// after the last symbol.
+	OFDMSignalExtension Micros = 6
 )
 
 // Contention window bounds. The paper describes MaxBO growing
@@ -42,14 +50,35 @@ const (
 )
 
 // Airtime returns the time to transmit length bytes of MAC frame
-// (header + body + FCS) at rate r, including the long PLCP
-// preamble/header. The PLCP preamble and header are always transmitted
-// at 1 Mbps regardless of r, which is why DPLCP is a fixed 192 µs.
+// (header + body + FCS) at rate r. DSSS/CCK rates include the long
+// PLCP preamble/header, always transmitted at 1 Mbps regardless of r,
+// which is why DPLCP is a fixed 192 µs; ERP-OFDM rates use the OFDM
+// PLCP timing (AirtimeOFDM).
 //
 // The payload time is rounded up to a whole microsecond, matching the
 // ceil behaviour of real hardware duration fields.
 func Airtime(lengthBytes int, r Rate) Micros {
+	if r.OFDM() {
+		return AirtimeOFDM(lengthBytes, r)
+	}
 	return AirtimePreamble(lengthBytes, r, PLCPLongPreamble)
+}
+
+// AirtimeOFDM returns the ERP-OFDM airtime of length bytes at rate r:
+// the 20 µs preamble+SIGNAL, the payload (16 SERVICE bits + data + 6
+// tail bits) in whole 4 µs symbols of r×4 data bits each, and the 6 µs
+// signal extension 802.11g requires in 2.4 GHz.
+func AirtimeOFDM(lengthBytes int, r Rate) Micros {
+	if lengthBytes < 0 {
+		lengthBytes = 0
+	}
+	bitsPerSymbol := Micros(r.Kbps()) * 4 / 1000 // 54 Mbps → 216 bits
+	if bitsPerSymbol == 0 {
+		return OFDMPreamble + OFDMSignalExtension
+	}
+	bits := 16 + Micros(lengthBytes)*8 + 6
+	symbols := (bits + bitsPerSymbol - 1) / bitsPerSymbol
+	return OFDMPreamble + symbols*OFDMSymbol + OFDMSignalExtension
 }
 
 // AirtimePreamble is Airtime with an explicit preamble duration, for

@@ -1,0 +1,116 @@
+package rate
+
+import (
+	"testing"
+
+	"wlan80211/internal/phy"
+)
+
+func TestLadderWalk(t *testing.T) {
+	if got := LadderBG.Top(); got != phy.Rate54Mbps {
+		t.Errorf("LadderBG.Top() = %v", got)
+	}
+	if got := LadderBG.Next(phy.Rate5_5Mbps); got != phy.Rate6Mbps {
+		t.Errorf("Next(5.5) = %v, want 6 Mbps", got)
+	}
+	if got := LadderBG.Prev(phy.Rate12Mbps); got != phy.Rate11Mbps {
+		t.Errorf("Prev(12) = %v, want 11 Mbps", got)
+	}
+	if got := LadderBG.Next(phy.Rate54Mbps); got != phy.Rate54Mbps {
+		t.Errorf("Next at top = %v, want saturation", got)
+	}
+	if got := LadderBG.Prev(phy.Rate1Mbps); got != phy.Rate1Mbps {
+		t.Errorf("Prev at bottom = %v, want saturation", got)
+	}
+	// Off-ladder rates saturate rather than jump.
+	if got := LadderB.Next(phy.Rate24Mbps); got != phy.Rate24Mbps {
+		t.Errorf("b-ladder Next(24 OFDM) = %v, want identity", got)
+	}
+	// Both ladders are strictly throughput-ordered.
+	for _, l := range []Ladder{LadderB, LadderBG} {
+		for i := 1; i < len(l); i++ {
+			if l[i].Kbps() <= l[i-1].Kbps() {
+				t.Fatalf("ladder not ordered at %d: %v after %v", i, l[i], l[i-1])
+			}
+		}
+	}
+}
+
+// TestARFLadderEquivalence checks that a ladder-backed ARF fed the b
+// ladder behaves exactly like the classic ARF for any feedback
+// sequence — the property that lets the b-only population keep its
+// pre-ladder traces bit-identical.
+func TestARFLadderEquivalence(t *testing.T) {
+	classic := NewARF(phy.Rate11Mbps)
+	laddered := NewARFLadder(LadderB)
+	feedback := []bool{
+		false, false, true, true, true, true, true, true, true, true, true, true,
+		false, true, false, false, false, false, false, false, true, true,
+	}
+	for round := 0; round < 20; round++ {
+		for i, ok := range feedback {
+			if ok {
+				classic.OnAck()
+				laddered.OnAck()
+			} else {
+				classic.OnFailure()
+				laddered.OnFailure()
+			}
+			if classic.Rate() != laddered.Rate() {
+				t.Fatalf("round %d step %d: classic %v, laddered %v", round, i, classic.Rate(), laddered.Rate())
+			}
+		}
+	}
+}
+
+// TestAARFLadderClimbsToOFDM drives a clean channel and checks the
+// dual-mode adapter climbs through the CCK/OFDM boundary to 54 Mbps.
+func TestAARFLadderClimbsToOFDM(t *testing.T) {
+	a := NewAARFLadder(LadderBG)
+	for i := 0; i < 40; i++ {
+		a.OnFailure()
+	}
+	if a.Rate() != phy.Rate1Mbps {
+		t.Fatalf("floor = %v, want 1 Mbps", a.Rate())
+	}
+	for i := 0; i < 5000; i++ {
+		a.OnAck()
+	}
+	if a.Rate() != phy.Rate54Mbps {
+		t.Fatalf("ceiling = %v, want 54 Mbps", a.Rate())
+	}
+}
+
+// TestSNRThresholdLadder checks the dual-mode SNR adapter picks OFDM
+// rates at high SNR, b rates at low SNR, and never exceeds what the
+// restricted ladder allows.
+func TestSNRThresholdLadder(t *testing.T) {
+	g := NewSNRThresholdLadder(LadderBG)
+	b := NewSNRThresholdLadder(LadderB)
+	if got := g.RateFor(1000, 45); got != phy.Rate54Mbps {
+		t.Errorf("g at 45 dB = %v, want 54 Mbps", got)
+	}
+	if got := b.RateFor(1000, 45); got != phy.Rate11Mbps {
+		t.Errorf("b at 45 dB = %v, want 11 Mbps", got)
+	}
+	if got := g.RateFor(1000, -5); got != phy.Rate1Mbps {
+		t.Errorf("g at -5 dB = %v, want 1 Mbps", got)
+	}
+	// The b-restricted ladder must agree with the nil-ladder default
+	// at every SNR (the default path is the b ladder).
+	def := NewSNRThreshold()
+	for snr := -10.0; snr <= 40; snr += 0.5 {
+		if b.RateFor(1000, snr) != def.RateFor(1000, snr) {
+			t.Fatalf("b-ladder diverged from default at %v dB", snr)
+		}
+	}
+	// Monotone in SNR for the dual-mode ladder.
+	prev := phy.Rate1Mbps
+	for snr := -10.0; snr <= 45; snr += 0.25 {
+		r := g.RateFor(1000, snr)
+		if r.Kbps() < prev.Kbps() {
+			t.Fatalf("rate dropped with rising SNR at %v dB: %v after %v", snr, r, prev)
+		}
+		prev = r
+	}
+}

@@ -39,26 +39,114 @@ type Adapter interface {
 	Name() string
 }
 
+// Ladder is the ordered (slowest to fastest) rate set a radio may use
+// — its PHY capability. A nil Ladder means the classic 802.11b ladder,
+// preserving the pre-ladder adapter behaviour bit for bit. Ladders are
+// shared between adapters and must not be mutated.
+type Ladder []phy.Rate
+
+// LadderB is the 802.11b DSSS/CCK ladder (1/2/5.5/11 Mbps).
+var LadderB = Ladder{phy.Rate1Mbps, phy.Rate2Mbps, phy.Rate5_5Mbps, phy.Rate11Mbps}
+
+// LadderBG is the dual-mode ladder of an 802.11b/g radio: the four
+// DSSS/CCK rates interleaved with the eight ERP-OFDM rates in
+// throughput order.
+var LadderBG = Ladder{
+	phy.Rate1Mbps, phy.Rate2Mbps, phy.Rate5_5Mbps, phy.Rate6Mbps,
+	phy.Rate9Mbps, phy.Rate11Mbps, phy.Rate12Mbps, phy.Rate18Mbps,
+	phy.Rate24Mbps, phy.Rate36Mbps, phy.Rate48Mbps, phy.Rate54Mbps,
+}
+
+// index returns r's position in the ladder, or -1.
+func (l Ladder) index(r phy.Rate) int {
+	for i, v := range l {
+		if v == r {
+			return i
+		}
+	}
+	return -1
+}
+
+// Next returns the next faster ladder rate, or r itself at the top
+// (or off-ladder).
+func (l Ladder) Next(r phy.Rate) phy.Rate {
+	if i := l.index(r); i >= 0 && i < len(l)-1 {
+		return l[i+1]
+	}
+	return r
+}
+
+// Prev returns the next slower ladder rate, or r itself at the bottom
+// (or off-ladder).
+func (l Ladder) Prev(r phy.Rate) phy.Rate {
+	if i := l.index(r); i > 0 {
+		return l[i-1]
+	}
+	return r
+}
+
+// Top returns the ladder's fastest rate.
+func (l Ladder) Top() phy.Rate { return l[len(l)-1] }
+
 // Standard ARF parameters.
 const (
 	arfFallThreshold  = 2  // consecutive failures before rate drop
 	arfRaiseThreshold = 10 // consecutive successes before probe
 )
 
+// ladderWalker holds an adapter's current rate and capability ladder,
+// sharing the walk logic the feedback-driven adapters need. A nil
+// ladder walks the b ladder via phy.Rate.Next/Prev with an 11 Mbps
+// top — the pre-ladder behaviour, bit for bit.
+type ladderWalker struct {
+	cur    phy.Rate
+	ladder Ladder
+}
+
+func (w *ladderWalker) next() phy.Rate {
+	if w.ladder != nil {
+		return w.ladder.Next(w.cur)
+	}
+	return w.cur.Next()
+}
+
+func (w *ladderWalker) prev() phy.Rate {
+	if w.ladder != nil {
+		return w.ladder.Prev(w.cur)
+	}
+	return w.cur.Prev()
+}
+
+func (w *ladderWalker) atTop() bool {
+	if w.ladder != nil {
+		return w.cur == w.ladder.Top()
+	}
+	return w.cur == phy.Rate11Mbps
+}
+
 // ARF is the classic Auto Rate Fallback adapter.
 type ARF struct {
-	cur     phy.Rate
+	ladderWalker
 	succ    int
 	fail    int
 	probing bool // the next frame is the first at a raised rate
 }
 
-// NewARF returns an ARF adapter starting at the given rate.
+// NewARF returns an ARF adapter starting at the given rate. The
+// ladderless adapter walks the b ladder, so a start outside it (OFDM
+// rates included — use NewARFLadder for those) normalizes to 11 Mbps
+// rather than pinning the adapter on a rate it cannot step through.
 func NewARF(start phy.Rate) *ARF {
-	if !start.Valid() {
+	if _, ok := start.Index(); !ok {
 		start = phy.Rate11Mbps
 	}
-	return &ARF{cur: start}
+	return &ARF{ladderWalker: ladderWalker{cur: start}}
+}
+
+// NewARFLadder returns an ARF adapter walking the given ladder,
+// starting at its top rate.
+func NewARFLadder(l Ladder) *ARF {
+	return &ARF{ladderWalker: ladderWalker{cur: l.Top(), ladder: l}}
 }
 
 // Name implements Adapter.
@@ -75,8 +163,8 @@ func (a *ARF) OnAck() {
 	a.fail = 0
 	a.probing = false
 	a.succ++
-	if a.succ >= arfRaiseThreshold && a.cur != phy.Rate11Mbps {
-		a.cur = a.cur.Next()
+	if a.succ >= arfRaiseThreshold && !a.atTop() {
+		a.cur = a.next()
 		a.succ = 0
 		a.probing = true
 	}
@@ -88,7 +176,7 @@ func (a *ARF) OnFailure() {
 	a.fail++
 	// A failed probe drops immediately; otherwise after 2 failures.
 	if a.probing || a.fail >= arfFallThreshold {
-		a.cur = a.cur.Prev()
+		a.cur = a.prev()
 		a.fail = 0
 		a.probing = false
 	}
@@ -99,7 +187,7 @@ func (a *ARF) OnFailure() {
 // stops the probe-fail-probe oscillation ARF exhibits under stable
 // channels.
 type AARF struct {
-	cur       phy.Rate
+	ladderWalker
 	succ      int
 	fail      int
 	threshold int
@@ -108,12 +196,19 @@ type AARF struct {
 
 const aarfMaxThreshold = 50
 
-// NewAARF returns an AARF adapter starting at the given rate.
+// NewAARF returns an AARF adapter starting at the given rate. Starts
+// outside the b ladder normalize to 11 Mbps (see NewARF).
 func NewAARF(start phy.Rate) *AARF {
-	if !start.Valid() {
+	if _, ok := start.Index(); !ok {
 		start = phy.Rate11Mbps
 	}
-	return &AARF{cur: start, threshold: arfRaiseThreshold}
+	return &AARF{ladderWalker: ladderWalker{cur: start}, threshold: arfRaiseThreshold}
+}
+
+// NewAARFLadder returns an AARF adapter walking the given ladder,
+// starting at its top rate.
+func NewAARFLadder(l Ladder) *AARF {
+	return &AARF{ladderWalker: ladderWalker{cur: l.Top(), ladder: l}, threshold: arfRaiseThreshold}
 }
 
 // Name implements Adapter.
@@ -130,8 +225,8 @@ func (a *AARF) OnAck() {
 	a.fail = 0
 	a.probing = false
 	a.succ++
-	if a.succ >= a.threshold && a.cur != phy.Rate11Mbps {
-		a.cur = a.cur.Next()
+	if a.succ >= a.threshold && !a.atTop() {
+		a.cur = a.next()
 		a.succ = 0
 		a.probing = true
 	}
@@ -143,7 +238,7 @@ func (a *AARF) OnFailure() {
 	a.fail++
 	if a.probing {
 		// Failed probe: back off and double the success threshold.
-		a.cur = a.cur.Prev()
+		a.cur = a.prev()
 		a.threshold *= 2
 		if a.threshold > aarfMaxThreshold {
 			a.threshold = aarfMaxThreshold
@@ -153,7 +248,7 @@ func (a *AARF) OnFailure() {
 		return
 	}
 	if a.fail >= arfFallThreshold {
-		a.cur = a.cur.Prev()
+		a.cur = a.prev()
 		a.threshold = arfRaiseThreshold
 		a.fail = 0
 	}
@@ -168,11 +263,19 @@ type SNRThreshold struct {
 	Target float64
 	// MarginDB is subtracted from the reported SNR as a safety margin.
 	MarginDB float64
+	// Ladder is the rate set considered (nil: the b ladder).
+	Ladder Ladder
 }
 
 // NewSNRThreshold returns an SNR-threshold adapter with a 10% FER
 // target and 3 dB margin.
 func NewSNRThreshold() *SNRThreshold { return &SNRThreshold{Target: 0.1, MarginDB: 3} }
+
+// NewSNRThresholdLadder returns an SNR-threshold adapter restricted to
+// the given ladder.
+func NewSNRThresholdLadder(l Ladder) *SNRThreshold {
+	return &SNRThreshold{Target: 0.1, MarginDB: 3, Ladder: l}
+}
 
 // Name implements Adapter.
 func (s *SNRThreshold) Name() string { return "snr" }
@@ -180,6 +283,14 @@ func (s *SNRThreshold) Name() string { return "snr" }
 // RateFor implements Adapter.
 func (s *SNRThreshold) RateFor(sizeBytes int, snrDB float64) phy.Rate {
 	snr := snrDB - s.MarginDB
+	if s.Ladder != nil {
+		for i := len(s.Ladder) - 1; i > 0; i-- {
+			if phy.FER(snr, sizeBytes, s.Ladder[i]) <= s.Target {
+				return s.Ladder[i]
+			}
+		}
+		return s.Ladder[0]
+	}
 	for i := len(phy.Rates) - 1; i > 0; i-- {
 		if phy.FER(snr, sizeBytes, phy.Rates[i]) <= s.Target {
 			return phy.Rates[i]
@@ -245,6 +356,30 @@ func NewMixedFactory() Factory {
 			return NewAARF(phy.Rate11Mbps)
 		default:
 			return NewSNRThreshold()
+		}
+	}
+}
+
+// NewSNRFactoryLadder returns a Factory producing SNR-threshold
+// adapters restricted to the given ladder.
+func NewSNRFactoryLadder(l Ladder) Factory {
+	return func() Adapter { return NewSNRThresholdLadder(l) }
+}
+
+// NewMixedFactoryLadder is NewMixedFactory over an explicit ladder:
+// the same ARF/AARF/SNR population, walking the given rate set — the
+// dual-mode (LadderBG) population of the mixed-b/g scenarios.
+func NewMixedFactoryLadder(l Ladder) Factory {
+	i := 0
+	return func() Adapter {
+		i++
+		switch i % 4 {
+		case 1:
+			return NewARFLadder(l)
+		case 2:
+			return NewAARFLadder(l)
+		default:
+			return NewSNRThresholdLadder(l)
 		}
 	}
 }

@@ -297,6 +297,13 @@ func (m *medium) deliverable(o *Node, tx *transmission) (snrDB float64, ok bool)
 	if snr <= 0 {
 		return snr, false
 	}
+	// A b-only radio cannot demodulate ERP-OFDM: it senses the energy
+	// (carrier sense above) but decodes nothing — checked before the
+	// SINR test so a deaf-by-capability receiver is not counted as a
+	// collision victim.
+	if tx.rate.OFDM() && !o.GCapable {
+		return snr, false
+	}
 	// Half-duplex: a node transmitting during any part of tx cannot
 	// receive it, regardless of signal strength.
 	for _, it := range tx.overlapped {

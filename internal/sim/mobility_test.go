@@ -1,0 +1,179 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"wlan80211/internal/phy"
+	"wlan80211/internal/rate"
+)
+
+// TestMoveNodeInvalidatesLinks proves movement reaches the link
+// matrix: a station moved out of range before transmitting must fail
+// where the unmoved twin succeeds — a stale row would deliver anyway.
+func TestMoveNodeInvalidatesLinks(t *testing.T) {
+	near, _, stas := testNet(1, 1, rate.NewFixedFactory(phy.Rate11Mbps))
+	nearAP := near.Nodes()[0]
+	stas[0].SendData(nearAP.Addr, 500)
+	near.RunFor(phy.MicrosPerSecond)
+	if stas[0].Acked != 1 {
+		t.Fatalf("baseline delivery failed: Acked = %d", stas[0].Acked)
+	}
+
+	far, _, fstas := testNet(1, 1, rate.NewFixedFactory(phy.Rate11Mbps))
+	farAP := far.Nodes()[0]
+	far.MoveNode(fstas[0], Position{X: 5000, Y: 5000})
+	fstas[0].SendData(farAP.Addr, 500)
+	far.RunFor(phy.MicrosPerSecond)
+	if fstas[0].Acked != 0 {
+		t.Fatalf("moved station still delivered through a stale link row: Acked = %d", fstas[0].Acked)
+	}
+}
+
+// TestMoveNodeVisibleToTaps checks a tap (sniffer) sees the mover's
+// new position on the very next observation.
+func TestMoveNodeVisibleToTaps(t *testing.T) {
+	net, ap, stas := testNet(1, 1, rate.NewFixedFactory(phy.Rate11Mbps))
+	var positions []Position
+	net.AddTap(tapFunc(func(o TxObservation) {
+		if o.FromID == stas[0].ID {
+			positions = append(positions, o.FromPos)
+		}
+	}))
+	stas[0].SendData(ap.Addr, 100)
+	net.RunFor(phy.MicrosPerSecond)
+	moved := Position{X: 40, Y: 40}
+	net.MoveNode(stas[0], moved)
+	stas[0].SendData(ap.Addr, 100)
+	net.RunFor(phy.MicrosPerSecond)
+	if len(positions) < 2 {
+		t.Fatalf("observed %d transmissions, want ≥2", len(positions))
+	}
+	if positions[len(positions)-1] != moved {
+		t.Errorf("tap saw stale position %+v after move to %+v", positions[len(positions)-1], moved)
+	}
+}
+
+// TestWaypointMover checks the walker's deterministic geometry: speed ×
+// time distance along the path, waypoint capture, and cycling.
+func TestWaypointMover(t *testing.T) {
+	net, _, stas := testNet(1, 1, rate.NewFixedFactory(phy.Rate11Mbps))
+	st := stas[0]
+	start := st.Pos
+	// 2 m/s toward a point 10 m away on the x axis, updated every 0.5 s.
+	target := Position{X: start.X + 10, Y: start.Y}
+	net.StartWaypoints(st, 2, phy.MicrosPerSecond/2, target, start)
+
+	net.RunFor(2 * phy.MicrosPerSecond) // 4 m walked
+	want := Position{X: start.X + 4, Y: start.Y}
+	if math.Abs(st.Pos.X-want.X) > 1e-9 || st.Pos.Y != want.Y {
+		t.Fatalf("after 2 s: pos = %+v, want %+v", st.Pos, want)
+	}
+
+	net.RunFor(3 * phy.MicrosPerSecond) // total 10 m: exactly at target
+	if st.Pos != target {
+		t.Fatalf("after 5 s: pos = %+v, want waypoint %+v", st.Pos, target)
+	}
+
+	net.RunFor(5 * phy.MicrosPerSecond) // walks back along the cycle
+	if st.Pos != start {
+		t.Fatalf("after 10 s: pos = %+v, want cycled back to %+v", st.Pos, start)
+	}
+}
+
+// TestWaypointMoverFastLaps checks a mover whose per-interval distance
+// spans several waypoint segments (multiple laps of a short cycle) is
+// not cut short: 25 m at 50 m/s over a 20 m two-point cycle lands
+// mid-segment, 5 m past the far point.
+func TestWaypointMoverFastLaps(t *testing.T) {
+	net, _, stas := testNet(1, 1, rate.NewFixedFactory(phy.Rate11Mbps))
+	st := stas[0]
+	start := st.Pos
+	far := Position{X: start.X + 10, Y: start.Y}
+	net.StartWaypoints(st, 50, phy.MicrosPerSecond/2, far, start)
+
+	net.RunFor(phy.MicrosPerSecond / 2) // one 25 m step: lap (20) + 5 toward far
+	want := Position{X: start.X + 5, Y: start.Y}
+	if math.Abs(st.Pos.X-want.X) > 1e-9 || st.Pos.Y != want.Y {
+		t.Fatalf("fast step truncated: pos = %+v, want %+v", st.Pos, want)
+	}
+}
+
+// TestWaypointMoverDegenerate pins that a path of coincident points
+// terminates (the zero-hop bound) and leaves the node parked there.
+func TestWaypointMoverDegenerate(t *testing.T) {
+	net, _, stas := testNet(1, 1, rate.NewFixedFactory(phy.Rate11Mbps))
+	st := stas[0]
+	p := st.Pos
+	net.StartWaypoints(st, 50, phy.MicrosPerSecond/2, p, p, p)
+	net.RunFor(2 * phy.MicrosPerSecond)
+	if st.Pos != p {
+		t.Fatalf("degenerate path moved the node: %+v", st.Pos)
+	}
+}
+
+// TestMoverStop freezes the node.
+func TestMoverStop(t *testing.T) {
+	net, _, stas := testNet(1, 1, rate.NewFixedFactory(phy.Rate11Mbps))
+	st := stas[0]
+	m := net.StartWaypoints(st, 2, phy.MicrosPerSecond/2, Position{X: 100, Y: 100})
+	net.RunFor(phy.MicrosPerSecond)
+	m.Stop()
+	frozen := st.Pos
+	net.RunFor(5 * phy.MicrosPerSecond)
+	if st.Pos != frozen {
+		t.Fatalf("stopped mover kept walking: %+v vs %+v", st.Pos, frozen)
+	}
+}
+
+// TestOFDMCapabilityGate drives a dual-mode pair at close range and a
+// b-only receiver variant, checking (a) OFDM rates actually go on the
+// air between g peers, (b) a transmitter never picks OFDM toward a
+// b-only peer, and (c) b-only bystanders still sense (defer to) OFDM
+// energy — carrier sense is rate-blind.
+func TestOFDMCapabilityGate(t *testing.T) {
+	gl := rate.NewSNRFactoryLadder(rate.LadderBG)
+
+	// Dual-mode pair: OFDM expected.
+	net, ap, stas := testNet(1, 1, gl)
+	ap.GCapable = true
+	ap.SetGAdapterFactory(gl)
+	stas[0].GCapable = true
+	ofdm := 0
+	net.AddTap(tapFunc(func(o TxObservation) {
+		if o.Rate.OFDM() {
+			ofdm++
+		}
+	}))
+	for i := 0; i < 20; i++ {
+		stas[0].SendData(ap.Addr, 800)
+	}
+	net.RunFor(phy.MicrosPerSecond)
+	if ofdm == 0 {
+		t.Error("dual-mode pair never used an OFDM rate")
+	}
+	if stas[0].Acked == 0 {
+		t.Error("dual-mode OFDM data never delivered")
+	}
+
+	// Same station population, b-only AP: the station's dual-mode
+	// adapter must be clamped to CCK on the air.
+	net2, ap2, stas2 := testNet(1, 1, gl)
+	stas2[0].GCapable = true // AP stays b-only
+	ofdm2 := 0
+	net2.AddTap(tapFunc(func(o TxObservation) {
+		if o.Rate.OFDM() {
+			ofdm2++
+		}
+	}))
+	for i := 0; i < 20; i++ {
+		stas2[0].SendData(ap2.Addr, 800)
+	}
+	net2.RunFor(phy.MicrosPerSecond)
+	if ofdm2 != 0 {
+		t.Errorf("%d OFDM frames sent toward a b-only receiver", ofdm2)
+	}
+	if stas2[0].Acked == 0 {
+		t.Error("clamped CCK data never delivered")
+	}
+}

@@ -74,17 +74,27 @@ type Node struct {
 	// UseRTS makes the node protect unicast data with RTS/CTS — the
 	// minority behaviour the paper observed (Sec 6.1).
 	UseRTS bool
+	// GCapable marks an 802.11b/g dual-mode radio. b-only nodes cannot
+	// demodulate ERP-OFDM frames (they sense the energy but decode
+	// nothing, so they miss NAV updates carried at OFDM rates — the
+	// protection-off interference of mixed cells), and a transmitter
+	// never sends OFDM toward a peer that cannot decode it. Set before
+	// traffic starts.
+	GCapable bool
 	// AP is the node's access point (nil for APs themselves).
 	AP *Node
 
 	// adapter drives rate selection for stations (single peer: the
 	// AP). APs adapt per destination via adapterFactory/adapters —
 	// one client's collisions must not drag down another's downlink.
-	adapter        rate.Adapter
-	adapterFactory rate.Factory
-	adapters       map[dot11.Addr]rate.Adapter
-	associated     bool
-	assocCount     int // for APs: number of associated stations
+	// gAdapterFactory, when set on a dual-mode AP, supplies the
+	// adapter toward dual-mode peers (b-only peers keep adapterFactory).
+	adapter         rate.Adapter
+	adapterFactory  rate.Factory
+	gAdapterFactory rate.Factory
+	adapters        map[dot11.Addr]rate.Adapter
+	associated      bool
+	assocCount      int // for APs: number of associated stations
 
 	// DCF state. The transmit queue is a ring over queue[qhead:].
 	queue        []queuedFrame
@@ -172,15 +182,28 @@ func (n *Node) associatedNet() bool { return n.IsAP || n.associated }
 // returns nil; use AdapterFor.
 func (n *Node) Adapter() rate.Adapter { return n.adapter }
 
+// SetGAdapterFactory supplies the rate-adaptation factory a dual-mode
+// AP uses toward dual-mode peers; b-only peers keep the default
+// factory. Call before the AP serves traffic.
+func (n *Node) SetGAdapterFactory(f rate.Factory) { n.gAdapterFactory = f }
+
 // AdapterFor returns the adapter used toward a destination: the
-// per-destination adapter for APs, the single adapter otherwise.
+// per-destination adapter for APs, the single adapter otherwise. The
+// adapter is created on first use; for dual-mode APs the peer's PHY
+// capability (fixed for its lifetime) picks the factory.
 func (n *Node) AdapterFor(to dot11.Addr) rate.Adapter {
 	if n.adapterFactory == nil {
 		return n.adapter
 	}
 	a, ok := n.adapters[to]
 	if !ok {
-		a = n.adapterFactory()
+		f := n.adapterFactory
+		if n.gAdapterFactory != nil && n.GCapable {
+			if peer := n.peerByAddr(to); peer != nil && peer.GCapable {
+				f = n.gAdapterFactory
+			}
+		}
+		a = f()
 		n.adapters[to] = a
 	}
 	return a
@@ -328,9 +351,19 @@ func (n *Node) transmitHead() {
 }
 
 // dataRate queries the adapter with the node's SNR estimate toward the
-// frame's receiver.
+// frame's receiver. An OFDM pick is clamped to 11 Mbps unless both
+// ends are dual-mode — a g station that roamed into a b cell (or
+// addresses a b peer) falls back to CCK rather than transmit frames
+// its receiver cannot demodulate.
 func (n *Node) dataRate(f *queuedFrame) phy.Rate {
-	return n.AdapterFor(f.to).RateFor(f.wireLen(), n.snrTowards(f.to))
+	r := n.AdapterFor(f.to).RateFor(f.wireLen(), n.snrTowards(f.to))
+	if r.OFDM() {
+		peer := n.peerByAddr(f.to)
+		if !n.GCapable || peer == nil || !peer.GCapable {
+			r = phy.Rate11Mbps
+		}
+	}
+	return r
 }
 
 // snrTowards estimates the SNR at the receiver using the deterministic

@@ -135,9 +135,12 @@ type link struct {
 
 // linkRow is one transmitter's row of the link matrix, tagged with the
 // transmit power it was computed at so power changes (TPC, tests
-// poking Node.TxPower) invalidate it lazily.
+// poking Node.TxPower) invalidate it lazily, and with the network's
+// position epoch so node movement (MoveNode) invalidates it the same
+// way.
 type linkRow struct {
 	power float64
+	epoch uint64
 	to    []link
 }
 
@@ -155,6 +158,9 @@ type Network struct {
 	links   []*linkRow
 	noiseMW float64
 	taps    []Tap
+	// posEpoch counts node moves; rows tagged with an older epoch
+	// rebuild lazily on next use (the same mechanism as the power tag).
+	posEpoch uint64
 
 	// Transmission pool (see medium.go).
 	txFree []*transmission
@@ -228,11 +234,12 @@ func (n *Network) linkFromTo(power float64, from, to *Node) link {
 }
 
 // rowFor returns node's link-matrix row, rebuilding it if the node's
-// transmit power changed since it was computed.
+// transmit power changed or any node moved since it was computed.
 func (n *Network) rowFor(node *Node) *linkRow {
 	row := n.links[node.ID]
-	if row.power != node.TxPower {
+	if row.power != node.TxPower || row.epoch != n.posEpoch {
 		row.power = node.TxPower
+		row.epoch = n.posEpoch
 		for i, o := range n.nodes {
 			row.to[i] = n.linkFromTo(row.power, node, o)
 		}
@@ -286,7 +293,7 @@ func (n *Network) newNode(name string, pos Position, ch phy.Channel) *Node {
 		row.to = append(row.to, n.linkFromTo(row.power, n.nodes[i], node))
 	}
 	// Build the new node's own row.
-	row := &linkRow{power: node.TxPower, to: make([]link, len(n.nodes))}
+	row := &linkRow{power: node.TxPower, epoch: n.posEpoch, to: make([]link, len(n.nodes))}
 	for i, o := range n.nodes {
 		row.to[i] = n.linkFromTo(row.power, node, o)
 	}
@@ -320,6 +327,34 @@ func (n *Network) RunUntil(t phy.Micros) { n.q.RunUntil(t) }
 
 // RunFor advances simulation time by d.
 func (n *Network) RunFor(d phy.Micros) { n.q.RunUntil(n.Now() + d) }
+
+// MoveNode relocates a node. Every link-matrix row is invalidated
+// lazily through the position epoch (the same mechanism the power tag
+// uses), so the radio geometry follows on the next transmission;
+// sniffers re-derive their per-transmitter state from the
+// observation's FromPos, so passive observers follow automatically.
+func (n *Network) MoveNode(node *Node, pos Position) {
+	if node.Pos == pos {
+		return
+	}
+	node.Pos = pos
+	n.posEpoch++
+}
+
+// NearestAP returns the geometrically nearest AP to pos (ties broken
+// by slice order) — the roaming target a client scanning all channels
+// would pick, since the shared log-distance environment makes rx
+// power monotone in distance. Returns nil for an empty slice.
+func NearestAP(aps []*Node, pos Position) *Node {
+	var best *Node
+	bestD := math.Inf(1)
+	for _, ap := range aps {
+		if d := ap.Pos.Distance(pos); d < bestD {
+			best, bestD = ap, d
+		}
+	}
+	return best
+}
 
 // Disassociate removes a station from its AP and stops its traffic.
 func (n *Network) Disassociate(st *Node) {

@@ -80,8 +80,8 @@ type Sniffer struct {
 	arena []byte
 	// memos caches the deterministic received power per transmitter
 	// (indexed by the dense node ID), replacing a path-loss
-	// computation per observed frame. Transmitter positions are fixed
-	// for a node's lifetime; power changes invalidate lazily.
+	// computation per observed frame. Power and position changes
+	// (TPC, mobility) invalidate entries lazily.
 	memos   []txMemo
 	noiseMW float64
 
@@ -99,12 +99,14 @@ type Sniffer struct {
 }
 
 // txMemo is the cached deterministic link from one transmitter to the
-// sniffer.
+// sniffer. Transmit power and position changes (TPC, mobility)
+// invalidate it lazily.
 type txMemo struct {
 	known bool
-	power float64 // transmit power the memo was computed at
-	det   float64 // deterministic rx power, dBm
-	mw    float64 // same in milliwatts
+	power float64      // transmit power the memo was computed at
+	pos   sim.Position // transmitter position the memo was computed at
+	det   float64      // deterministic rx power, dBm
+	mw    float64      // same in milliwatts
 }
 
 // New creates a sniffer.
@@ -124,15 +126,15 @@ func New(cfg Config) *Sniffer {
 
 // memoFor returns the cached deterministic link from transmitter id at
 // pos with the given power, computing it on first sight (or when the
-// transmitter's power changed).
+// transmitter's power or position changed).
 func (s *Sniffer) memoFor(id int, power float64, pos sim.Position) *txMemo {
 	for id >= len(s.memos) {
 		s.memos = append(s.memos, txMemo{})
 	}
 	m := &s.memos[id]
-	if !m.known || m.power != power {
+	if !m.known || m.power != power || m.pos != pos {
 		det := s.cfg.Env.RxPowerDBm(power, pos.Distance(s.cfg.Pos), nil)
-		*m = txMemo{known: true, power: power, det: det, mw: dbmToMW(det)}
+		*m = txMemo{known: true, power: power, pos: pos, det: det, mw: dbmToMW(det)}
 	}
 	return m
 }

@@ -1,0 +1,133 @@
+package workload
+
+import (
+	"testing"
+
+	"wlan80211/internal/dot11"
+	"wlan80211/internal/phy"
+)
+
+// TestGridTraceStable extends the golden-hash pattern to the grid:
+// two builds of the same scenario must produce bit-identical merged
+// traces, or mobility, roaming, mixed-b/g adaptation, or merge-time
+// dedup leaked nondeterminism.
+func TestGridTraceStable(t *testing.T) {
+	run := func() string {
+		b, err := DefaultGrid().Scale(0.5).Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return hashTrace(b.Run())
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("same-seed grid runs diverged: %s vs %s", a, b)
+	}
+}
+
+// TestGridMixedBG checks the capability model end to end from the
+// trace: dual-mode stations reach OFDM rates, and no b-only radio
+// ever transmits one.
+func TestGridMixedBG(t *testing.T) {
+	b, err := DefaultGrid().Scale(0.5).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := b.Run()
+	if len(recs) == 0 {
+		t.Fatal("empty grid trace")
+	}
+
+	bOnly := make(map[dot11.Addr]bool)
+	var haveB, haveG bool
+	for _, n := range b.Net.Nodes() {
+		if n.IsAP {
+			continue
+		}
+		if n.GCapable {
+			haveG = true
+		} else {
+			haveB = true
+			bOnly[n.Addr] = true
+		}
+	}
+	if !haveB || !haveG {
+		t.Fatalf("population not mixed (b=%v g=%v); adjust GFraction or seed", haveB, haveG)
+	}
+
+	ofdm := 0
+	for _, rec := range recs {
+		if !rec.Rate.OFDM() {
+			continue
+		}
+		ofdm++
+		p, err := dot11.Parse(rec.Frame)
+		if err != nil {
+			continue
+		}
+		if d, ok := p.Frame.(*dot11.Data); ok && bOnly[d.Addr2] {
+			t.Fatalf("b-only station %v transmitted at OFDM rate %v", d.Addr2, rec.Rate)
+		}
+	}
+	if ofdm == 0 {
+		t.Error("no OFDM frames captured; the g population never left the b ladder")
+	}
+}
+
+// TestGridRoaming checks the mobiles actually cross cells: the run
+// must produce reassociation events beyond the initial associations,
+// and at least one mobile must end on an AP other than its starting
+// one.
+func TestGridRoaming(t *testing.T) {
+	g := DefaultGrid().Scale(0.5)
+	b, err := g.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Mobiles) == 0 {
+		t.Fatal("grid built no mobiles")
+	}
+	start := make(map[int]string)
+	for _, m := range b.Mobiles {
+		start[m.ID] = m.AP.Name
+	}
+	initialAssoc := b.Net.Stats.AssocEvents
+
+	b.Net.RunFor(phy.Micros(g.DurationSec) * phy.MicrosPerSecond)
+
+	if b.Net.Stats.AssocEvents <= initialAssoc {
+		t.Error("no reassociation events; roaming never fired")
+	}
+	moved := false
+	for _, m := range b.Mobiles {
+		if m.AP.Name != start[m.ID] {
+			moved = true
+			break
+		}
+	}
+	if !moved {
+		t.Error("no mobile changed AP over the run")
+	}
+}
+
+// TestGridSniffersShareChannels pins the acceptance-criteria topology:
+// the default grid places at least two sniffers on one channel (the
+// multi-vantage setup the dedup window exists for).
+func TestGridSniffersShareChannels(t *testing.T) {
+	b, err := DefaultGrid().Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	perChannel := make(map[phy.Channel]int)
+	for _, sn := range b.Sniffers {
+		perChannel[sn.Config().Channel]++
+	}
+	shared := 0
+	for _, n := range perChannel {
+		if n >= 2 {
+			shared++
+		}
+	}
+	if shared == 0 {
+		t.Fatalf("no channel has ≥2 sniffers: %v", perChannel)
+	}
+}
