@@ -1,0 +1,77 @@
+package main
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Regression is one benchmark whose cost grew beyond the tolerance.
+type Regression struct {
+	Name   string
+	Metric string // "ns/op" or "allocs/op"
+	Old    float64
+	New    float64
+	Ratio  float64 // New/Old (+Inf when Old == 0)
+}
+
+func (r Regression) String() string {
+	return fmt.Sprintf("REGRESSION %s %s: %.4g -> %.4g (%+.1f%%)",
+		r.Name, r.Metric, r.Old, r.New, (r.Ratio-1)*100)
+}
+
+// compare diffs new against old benchmark results by name. A
+// benchmark regresses when its ns/op or allocs/op exceeds the old
+// value by more than tolerance (0.15 = +15%). Benchmarks present in
+// only one document are ignored — CI steps produce subsets of the
+// committed baselines — but an empty intersection is an error so a
+// renamed baseline cannot turn the gate into a no-op. Comparisons are
+// returned in stable name order alongside the number of benchmarks
+// compared.
+func compare(old, new *Output, tolerance float64) (regs []Regression, compared int, err error) {
+	baseline := make(map[string]Result, len(old.Results))
+	for _, r := range old.Results {
+		baseline[r.Name] = r
+	}
+	names := make([]string, 0, len(new.Results))
+	seen := make(map[string]bool)
+	for _, r := range new.Results {
+		if _, ok := baseline[r.Name]; ok && !seen[r.Name] {
+			names = append(names, r.Name)
+			seen[r.Name] = true
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, 0, fmt.Errorf("no benchmarks in common between baseline and current run")
+	}
+
+	current := make(map[string]Result, len(new.Results))
+	for _, r := range new.Results {
+		if _, ok := current[r.Name]; !ok {
+			current[r.Name] = r
+		}
+	}
+	exceeds := func(oldV, newV float64) (float64, bool) {
+		if oldV == 0 {
+			// A benchmark that was allocation-free (or instant) and no
+			// longer is regresses at any tolerance.
+			return math.Inf(1), newV > 0
+		}
+		ratio := newV / oldV
+		return ratio, ratio > 1+tolerance
+	}
+	for _, name := range names {
+		o, n := baseline[name], current[name]
+		compared++
+		if ratio, bad := exceeds(o.NsPerOp, n.NsPerOp); bad {
+			regs = append(regs, Regression{Name: name, Metric: "ns/op", Old: o.NsPerOp, New: n.NsPerOp, Ratio: ratio})
+		}
+		if o.AllocsPerOp != nil && n.AllocsPerOp != nil {
+			if ratio, bad := exceeds(*o.AllocsPerOp, *n.AllocsPerOp); bad {
+				regs = append(regs, Regression{Name: name, Metric: "allocs/op", Old: *o.AllocsPerOp, New: *n.AllocsPerOp, Ratio: ratio})
+			}
+		}
+	}
+	return regs, compared, nil
+}

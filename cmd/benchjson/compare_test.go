@@ -1,0 +1,117 @@
+package main
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+)
+
+func fp(v float64) *float64 { return &v }
+
+func doc(results ...Result) *Output { return &Output{Results: results} }
+
+func TestCompareFailsOnInjectedSlowdown(t *testing.T) {
+	old := doc(
+		Result{Name: "BenchmarkSimGrid", NsPerOp: 1000, AllocsPerOp: fp(100)},
+		Result{Name: "BenchmarkSimDay", NsPerOp: 500, AllocsPerOp: fp(50)},
+	)
+	// A 20% ns/op slowdown on one benchmark must trip the 15% gate.
+	slow := doc(
+		Result{Name: "BenchmarkSimGrid", NsPerOp: 1200, AllocsPerOp: fp(100)},
+		Result{Name: "BenchmarkSimDay", NsPerOp: 500, AllocsPerOp: fp(50)},
+	)
+	regs, compared, err := compare(old, slow, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if compared != 2 {
+		t.Errorf("compared %d benchmarks, want 2", compared)
+	}
+	if len(regs) != 1 || regs[0].Name != "BenchmarkSimGrid" || regs[0].Metric != "ns/op" {
+		t.Fatalf("regressions = %v, want one ns/op regression on BenchmarkSimGrid", regs)
+	}
+	if regs[0].Ratio < 1.19 || regs[0].Ratio > 1.21 {
+		t.Errorf("ratio = %v, want ~1.2", regs[0].Ratio)
+	}
+}
+
+func TestComparePassesWithinTolerance(t *testing.T) {
+	old := doc(Result{Name: "BenchmarkX", NsPerOp: 1000, AllocsPerOp: fp(10)})
+	cur := doc(Result{Name: "BenchmarkX", NsPerOp: 1100, AllocsPerOp: fp(11)})
+	regs, _, err := compare(old, cur, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 0 {
+		t.Fatalf("+10%% flagged at 15%% tolerance: %v", regs)
+	}
+}
+
+func TestCompareFlagsAllocRegression(t *testing.T) {
+	old := doc(Result{Name: "BenchmarkX", NsPerOp: 1000, AllocsPerOp: fp(100)})
+	cur := doc(Result{Name: "BenchmarkX", NsPerOp: 1000, AllocsPerOp: fp(130)})
+	regs, _, err := compare(old, cur, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 1 || regs[0].Metric != "allocs/op" {
+		t.Fatalf("regressions = %v, want one allocs/op regression", regs)
+	}
+}
+
+func TestCompareZeroAllocBaselineIsStrict(t *testing.T) {
+	// The eventq benchmark is allocation-free; any new allocation is a
+	// regression no matter the tolerance.
+	old := doc(Result{Name: "BenchmarkEventQueue", NsPerOp: 14, AllocsPerOp: fp(0)})
+	cur := doc(Result{Name: "BenchmarkEventQueue", NsPerOp: 14, AllocsPerOp: fp(1)})
+	regs, _, err := compare(old, cur, 10.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 1 || regs[0].Metric != "allocs/op" {
+		t.Fatalf("regressions = %v, want one allocs/op regression", regs)
+	}
+}
+
+func TestCompareSkipsDisjointButRejectsEmptyIntersection(t *testing.T) {
+	old := doc(
+		Result{Name: "BenchmarkShared", NsPerOp: 100},
+		Result{Name: "BenchmarkOldOnly", NsPerOp: 100},
+	)
+	cur := doc(
+		Result{Name: "BenchmarkShared", NsPerOp: 300},
+		Result{Name: "BenchmarkNewOnly", NsPerOp: 1},
+	)
+	regs, compared, err := compare(old, cur, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if compared != 1 || len(regs) != 1 || regs[0].Name != "BenchmarkShared" {
+		t.Fatalf("compared=%d regs=%v; want the single shared benchmark flagged", compared, regs)
+	}
+
+	if _, _, err := compare(old, doc(Result{Name: "BenchmarkNewOnly", NsPerOp: 1}), 0.15); err == nil {
+		t.Fatal("empty intersection did not error; a renamed baseline would disable the gate")
+	}
+}
+
+func TestCompareAgainstParsedBenchText(t *testing.T) {
+	// End to end through the same parser CI uses: bench text vs an
+	// archived baseline with a 20% slowdown injected.
+	text := `goos: linux
+pkg: wlan80211/internal/workload
+BenchmarkSimGrid-8   3   12000000 ns/op   2222 allocs/op
+`
+	cur, err := parse(bufio.NewScanner(strings.NewReader(text)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := doc(Result{Name: "BenchmarkSimGrid", NsPerOp: 10000000, AllocsPerOp: fp(2222)})
+	regs, _, err := compare(old, cur, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 1 || regs[0].Metric != "ns/op" {
+		t.Fatalf("regressions = %v, want one ns/op regression", regs)
+	}
+}

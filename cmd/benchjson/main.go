@@ -5,9 +5,17 @@
 // Usage:
 //
 //	go test -bench=. -benchmem ./... | benchjson -o BENCH.json
+//	benchjson -compare BENCH_5.json -tolerance 0.15 bench-smoke.json
 //
 // Standard fields (ns/op, B/op, allocs/op) are parsed into columns;
 // any custom b.ReportMetric units land in the metrics map.
+//
+// With -compare, the input (a positional JSON file, or bench text on
+// stdin) is gated against the baseline document: any benchmark whose
+// ns/op or allocs/op grew more than -tolerance (default +15%) exits
+// non-zero, so a perf regression fails CI instead of merging as a
+// silently-archived artifact. Benchmarks appearing in only one
+// document are skipped, but the intersection must be non-empty.
 package main
 
 import (
@@ -42,28 +50,73 @@ type Output struct {
 }
 
 func main() {
-	out := flag.String("o", "", "output file (default stdout)")
+	out := flag.String("o", "", "output file (default stdout; suppressed under -compare)")
+	baseline := flag.String("compare", "", "baseline BENCH_*.json to gate against; exit non-zero on regression")
+	tolerance := flag.Float64("tolerance", 0.15, "allowed fractional ns/op and allocs/op growth for -compare")
 	flag.Parse()
 
-	doc, err := parse(bufio.NewScanner(os.Stdin))
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(2)
+	}
+	var doc *Output
+	var err error
+	switch args := flag.Args(); len(args) {
+	case 0:
+		doc, err = parse(bufio.NewScanner(os.Stdin))
+	case 1:
+		doc, err = readDoc(args[0])
+	default:
+		err = fmt.Errorf("at most one input file, got %d", len(args))
+	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
+		fail(err)
 	}
-	enc, err := json.MarshalIndent(doc, "", "  ")
+
+	if *out != "" || *baseline == "" {
+		enc, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			fail(err)
+		}
+		enc = append(enc, '\n')
+		if *out == "" {
+			os.Stdout.Write(enc)
+		} else if err := os.WriteFile(*out, enc, 0o644); err != nil {
+			fail(err)
+		}
+	}
+
+	if *baseline != "" {
+		old, err := readDoc(*baseline)
+		if err != nil {
+			fail(err)
+		}
+		regs, compared, err := compare(old, doc, *tolerance)
+		if err != nil {
+			fail(err)
+		}
+		for _, r := range regs {
+			fmt.Fprintln(os.Stderr, r)
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: %d benchmark(s) compared against %s at +%.0f%% tolerance, %d regression(s)\n",
+			compared, *baseline, *tolerance*100, len(regs))
+		if len(regs) > 0 {
+			os.Exit(1)
+		}
+	}
+}
+
+// readDoc loads an archived benchjson document.
+func readDoc(path string) (*Output, error) {
+	data, err := os.ReadFile(path)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
+		return nil, err
 	}
-	enc = append(enc, '\n')
-	if *out == "" {
-		os.Stdout.Write(enc)
-		return
+	doc := &Output{}
+	if err := json.Unmarshal(data, doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
 	}
-	if err := os.WriteFile(*out, enc, 0o644); err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
-	}
+	return doc, nil
 }
 
 func parse(sc *bufio.Scanner) (*Output, error) {

@@ -8,6 +8,12 @@
 // list, and cancellation removes the event from the heap eagerly, so
 // steady-state scheduling performs no per-event allocation and the
 // heap never accumulates dead entries.
+//
+// For callers whose deadlines move often (the DCF backoff countdown
+// pauses on every overheard transmission), Defer postpones a pending
+// event with an O(1) stamp and no heap traffic: the stale heap entry
+// re-arms itself in place when it surfaces, so heap work scales with
+// events that actually come due rather than with deadline changes.
 package eventq
 
 import (
@@ -25,12 +31,22 @@ const (
 
 // slot is one slab entry backing a scheduled event.
 type slot struct {
-	at    phy.Micros
-	seq   uint64
-	fn    func()
-	pos   int32 // heap position; -1 when not queued
-	gen   uint32
-	state uint8
+	at phy.Micros
+	// deadline is the deferred fire time (see Event.Defer). The event
+	// is stale while deadline > at: when it surfaces at the heap top it
+	// re-arms at deadline instead of firing.
+	deadline phy.Micros
+	seq      uint64
+	// deferSeq is the FIFO rank minted when Defer stamped the
+	// deadline. The in-place re-arm adopts it, so a deferred event
+	// orders among same-instant events exactly as if it had been
+	// cancelled and rescheduled at Defer time — deferral changes the
+	// cost of moving a deadline, never the fire order.
+	deferSeq uint64
+	fn       func()
+	pos      int32 // heap position; -1 when not queued
+	gen      uint32
+	state    uint8
 }
 
 // Event is a handle to a scheduled callback. The zero Event is
@@ -42,13 +58,67 @@ type Event struct {
 	at   phy.Micros
 }
 
-// At returns the time the event was scheduled for.
+// At returns the time the event was originally scheduled for. A
+// deferred event's actual fire time can be later (see Defer).
 func (e Event) At() phy.Micros { return e.at }
 
 // Scheduled reports whether the handle refers to a real scheduling
 // (i.e. is not the zero Event). It does not say whether the event is
 // still pending.
 func (e Event) Scheduled() bool { return e.q != nil }
+
+// Pending reports whether the event is still queued to fire: it has
+// neither fired nor been cancelled, and its slot has not been
+// recycled. Deferral does not affect pendingness — the handle stays
+// valid across in-place re-arms.
+func (e Event) Pending() bool {
+	if e.q == nil {
+		return false
+	}
+	s := &e.q.slots[e.slot]
+	return s.gen == e.gen && s.state == statePending
+}
+
+// When returns the event's current fire target and whether it is
+// still pending. The target of a deferred event is its stamped
+// deadline, not the original At time.
+func (e Event) When() (phy.Micros, bool) {
+	if e.q == nil {
+		return 0, false
+	}
+	s := &e.q.slots[e.slot]
+	if s.gen != e.gen || s.state != statePending {
+		return 0, false
+	}
+	return s.deadline, true
+}
+
+// Defer postpones a still-pending event to fire at t, with no heap
+// traffic: the slot is stamped and the stale heap entry re-keys
+// itself in place when it reaches the heap top. A deferred event
+// fires in exactly the order a cancel-and-reschedule at Defer time
+// would have produced: the FIFO rank among same-instant events is
+// minted here, not at re-key — deferring to the event's current
+// target still refreshes its rank. Deferring to an earlier time than
+// the current target is a no-op (Defer never moves an event earlier;
+// cancel and reschedule for that). Defer reports whether the event
+// was still pending (an already-fired or cancelled event cannot be
+// revived — schedule a new one).
+func (e Event) Defer(t phy.Micros) bool {
+	if e.q == nil {
+		return false
+	}
+	s := &e.q.slots[e.slot]
+	if s.gen != e.gen || s.state != statePending {
+		return false
+	}
+	if t >= s.deadline {
+		s.deadline = t
+		s.deferSeq = e.q.seq
+		e.q.seq++
+	}
+	return true
+}
 
 // Cancel prevents the event from firing and releases its slot
 // immediately. Cancelling an already-fired or already-cancelled event
@@ -66,6 +136,7 @@ func (e Event) Cancel() {
 	s.fn = nil
 	s.pos = -1
 	e.q.free = append(e.q.free, e.slot)
+	e.q.cancels++
 }
 
 // Cancelled reports whether Cancel was called before the event fired.
@@ -89,23 +160,43 @@ type heapEntry struct {
 
 // Queue is a discrete-event scheduler. The zero value is ready to use.
 type Queue struct {
-	slots []slot
-	heap  []heapEntry // 4-ary min-heap ordered by (at, seq)
-	free  []int32
-	now   phy.Micros
-	seq   uint64
-	runs  uint64
+	slots     []slot
+	heap      []heapEntry // 4-ary min-heap ordered by (at, seq)
+	free      []int32
+	now       phy.Micros
+	seq       uint64
+	runs      uint64
+	deferrals uint64
+	scheds    uint64
+	cancels   uint64
 }
 
 // Now returns the current simulation time.
 func (q *Queue) Now() phy.Micros { return q.now }
 
 // Len returns the number of pending events in O(1). Cancelled events
-// are removed eagerly, so every heap entry is live.
+// are removed eagerly and deferred events keep their single heap
+// entry across in-place re-arms, so every heap entry is exactly one
+// live pending event.
 func (q *Queue) Len() int { return len(q.heap) }
 
-// Processed returns the number of events that have fired.
+// Processed returns the number of events that have fired. In-place
+// re-arms of deferred events are not fires; they count in Deferrals.
 func (q *Queue) Processed() uint64 { return q.runs }
+
+// Deferrals returns the number of in-place re-arms performed for
+// deferred events — the heap traffic Defer's O(1) stamping did not
+// avoid. Deferrals/Processed bounds the lazy scheme's residual cost.
+func (q *Queue) Deferrals() uint64 { return q.deferrals }
+
+// Scheduled returns the number of events ever scheduled (At/After
+// calls — heap inserts).
+func (q *Queue) Scheduled() uint64 { return q.scheds }
+
+// Cancelled returns the number of eager cancellations (heap removes).
+// Scheduled + Cancelled + Deferrals approximates total heap mutation
+// traffic beyond the unavoidable fire pops.
+func (q *Queue) Cancelled() uint64 { return q.cancels }
 
 // At schedules fn at absolute time t. Scheduling in the past (t <
 // Now()) clamps to Now(), which keeps the clock monotonic.
@@ -123,11 +214,14 @@ func (q *Queue) At(t phy.Micros, fn func()) Event {
 	}
 	s := &q.slots[idx]
 	s.at = t
+	s.deadline = t
 	s.seq = q.seq
+	s.deferSeq = q.seq
 	s.fn = fn
 	s.gen++
 	s.state = statePending
 	q.seq++
+	q.scheds++
 	s.pos = int32(len(q.heap))
 	q.heap = append(q.heap, heapEntry{at: t, seq: s.seq, idx: idx})
 	q.siftUp(int(s.pos))
@@ -142,31 +236,61 @@ func (q *Queue) After(d phy.Micros, fn func()) Event {
 	return q.At(q.now+d, fn)
 }
 
-// Step fires the earliest pending event and returns true, or returns
-// false if the queue is empty.
-func (q *Queue) Step() bool {
-	if len(q.heap) == 0 {
-		return false
-	}
-	idx := q.heap[0].idx
-	s := &q.slots[idx]
-	q.now = s.at
-	fn := s.fn
-	s.fn = nil
-	s.state = stateFired
-	s.pos = -1
-	q.removeAt(0)
-	q.free = append(q.free, idx)
-	q.runs++
-	fn()
-	return true
+// stale reports whether the heap-top entry for s carries an outdated
+// key: a deferred deadline later than its queued time, or a refreshed
+// FIFO rank (a Defer to the same instant).
+func (s *slot) stale() bool { return s.deadline > s.at || s.deferSeq != s.seq }
+
+// rearmTop re-keys the stale event at the heap top to its deferred
+// deadline, adopting the seq minted when the deadline was stamped so
+// the fire order matches a cancel-and-reschedule at Defer time. The
+// slot generation (and so any live handle) is untouched.
+func (q *Queue) rearmTop(s *slot) {
+	s.at = s.deadline
+	s.seq = s.deferSeq
+	q.heap[0] = heapEntry{at: s.at, seq: s.seq, idx: q.heap[0].idx}
+	q.siftDown(0)
+	q.deferrals++
 }
 
-// RunUntil fires events in order until the next event would be after
-// deadline (or the queue empties). The clock finishes at exactly
-// deadline.
+// Step fires the earliest live (non-deferred) pending event and
+// returns true, or returns false if the queue is empty. Stale entries
+// of deferred events surfacing at the heap top are re-armed in place
+// on the way, without firing and without advancing the clock.
+func (q *Queue) Step() bool {
+	for len(q.heap) > 0 {
+		idx := q.heap[0].idx
+		s := &q.slots[idx]
+		if s.stale() {
+			q.rearmTop(s)
+			continue
+		}
+		q.now = s.at
+		fn := s.fn
+		s.fn = nil
+		s.state = stateFired
+		s.pos = -1
+		q.removeAt(0)
+		q.free = append(q.free, idx)
+		q.runs++
+		fn()
+		return true
+	}
+	return false
+}
+
+// RunUntil fires events in order until the next live event would be
+// after deadline (or the queue empties). Deferred entries whose stale
+// time falls inside the window re-arm without firing — an event
+// deferred past the deadline does not fire. The clock finishes at
+// exactly deadline.
 func (q *Queue) RunUntil(deadline phy.Micros) {
 	for len(q.heap) > 0 && q.heap[0].at <= deadline {
+		s := &q.slots[q.heap[0].idx]
+		if s.stale() {
+			q.rearmTop(s)
+			continue
+		}
 		q.Step()
 	}
 	if q.now < deadline {

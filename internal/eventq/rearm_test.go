@@ -1,0 +1,191 @@
+package eventq
+
+import (
+	"testing"
+
+	"wlan80211/internal/phy"
+)
+
+// These tests pin the deferred-fire/re-arm semantics the lazy DCF
+// countdown depends on: Defer is an O(1) stamp, the stale heap entry
+// re-arms in place exactly once per surfacing, handles stay valid
+// across re-arms, and slot recycling never lets a stale handle touch
+// a successor event.
+
+func TestDeferFiresOnceAtDeadline(t *testing.T) {
+	var q Queue
+	fired := 0
+	var at phy.Micros
+	e := q.At(10, func() { fired++; at = q.Now() })
+	if !e.Defer(30) {
+		t.Fatal("Defer on a pending event reported not-pending")
+	}
+	q.Run()
+	if fired != 1 || at != 30 {
+		t.Fatalf("fired %d times at t=%d; want once at t=30", fired, at)
+	}
+	if q.Processed() != 1 || q.Deferrals() != 1 {
+		t.Errorf("processed=%d deferrals=%d; want 1 and 1", q.Processed(), q.Deferrals())
+	}
+}
+
+func TestDeferTakesMaxAndNeverMovesEarlier(t *testing.T) {
+	var q Queue
+	var at phy.Micros
+	e := q.At(10, func() { at = q.Now() })
+	e.Defer(30)
+	e.Defer(20) // earlier than the stamped deadline: no-op
+	e.Defer(5)  // earlier than the original time: no-op
+	q.Run()
+	if at != 30 {
+		t.Fatalf("fired at t=%d, want 30", at)
+	}
+}
+
+func TestDoubleRearm(t *testing.T) {
+	var q Queue
+	var at phy.Micros
+	fired := 0
+	e := q.At(10, func() { fired++; at = q.Now() })
+	e.Defer(30)
+	// A second deferral lands between the first re-arm (at t=10) and
+	// the deferred deadline, forcing a second in-place re-arm at t=30.
+	q.At(15, func() { e.Defer(40) })
+	q.Run()
+	if fired != 1 || at != 40 {
+		t.Fatalf("fired %d times at t=%d; want once at t=40", fired, at)
+	}
+	if q.Deferrals() != 2 {
+		t.Errorf("deferrals=%d, want 2 (re-armed at t=10 and t=30)", q.Deferrals())
+	}
+}
+
+func TestDeferAfterFireAndCancelAfterFire(t *testing.T) {
+	var q Queue
+	e := q.At(10, func() {})
+	q.Run()
+	if e.Pending() {
+		t.Error("fired event still pending")
+	}
+	if e.Defer(50) {
+		t.Error("Defer revived a fired event")
+	}
+	e.Cancel() // must be a no-op
+	// The freed slot is recycled by the next scheduling; the stale
+	// handle must not be able to cancel or defer its successor.
+	fired := 0
+	e2 := q.At(20, func() { fired++ })
+	e.Cancel()
+	if e.Defer(99) {
+		t.Error("stale handle deferred a recycled slot")
+	}
+	q.Run()
+	if fired != 1 {
+		t.Fatalf("successor event fired %d times, want 1 (stale handle interfered)", fired)
+	}
+	if e2.Pending() {
+		t.Error("successor event still pending after Run")
+	}
+}
+
+func TestCancelDeferredEvent(t *testing.T) {
+	var q Queue
+	e := q.At(10, func() { t.Error("cancelled deferred event fired") })
+	e.Defer(30)
+	e.Cancel()
+	if e.Pending() {
+		t.Error("cancelled event still pending")
+	}
+	if q.Len() != 0 {
+		t.Errorf("Len=%d after cancelling the only event", q.Len())
+	}
+	q.Run()
+}
+
+func TestHandleSurvivesRearmAndFreeListReuse(t *testing.T) {
+	var q Queue
+	fired := 0
+	e := q.At(10, func() { fired++ })
+	e.Defer(100)
+	// Fire-and-recycle another slot so the free list is warm, then run
+	// past the stale time: the deferred event re-arms in place.
+	q.At(5, func() {})
+	q.RunUntil(50)
+	if !e.Pending() {
+		t.Fatal("handle went stale across an in-place re-arm")
+	}
+	if q.Len() != 1 {
+		t.Fatalf("Len=%d, want 1 (one pending deferred event)", q.Len())
+	}
+	// The handle still defers and cancels after the re-arm.
+	if !e.Defer(200) {
+		t.Fatal("Defer after re-arm reported not-pending")
+	}
+	e.Cancel()
+	if e.Pending() || q.Len() != 0 {
+		t.Fatal("cancel after re-arm did not remove the event")
+	}
+	// The slot returns to the free list and serves a fresh event the
+	// stale handle cannot touch.
+	e2 := q.At(60, func() { fired += 10 })
+	if e.Defer(999) || e.Pending() {
+		t.Error("stale handle still live after slot reuse")
+	}
+	q.Run()
+	if fired != 10 {
+		t.Fatalf("fired=%d, want 10 (reused-slot event only, no deferred fire)", fired)
+	}
+	_ = e2
+}
+
+func TestRunUntilDoesNotFireDeferredPastDeadline(t *testing.T) {
+	var q Queue
+	fired := false
+	e := q.At(10, func() { fired = true })
+	e.Defer(100)
+	q.RunUntil(50)
+	if fired {
+		t.Fatal("RunUntil fired an event deferred past its deadline")
+	}
+	if q.Now() != 50 {
+		t.Errorf("now=%d, want 50", q.Now())
+	}
+	q.RunUntil(100)
+	if !fired {
+		t.Fatal("deferred event never fired")
+	}
+}
+
+func TestRearmOrdersAfterEventsAlreadyAtInstant(t *testing.T) {
+	var q Queue
+	var order []string
+	// B is scheduled for t=30 before A's stale entry surfaces at t=10;
+	// A's re-arm mints a fresh seq, so at t=30 B keeps FIFO priority.
+	a := q.At(10, func() { order = append(order, "A") })
+	q.At(30, func() { order = append(order, "B") })
+	a.Defer(30)
+	q.Run()
+	if len(order) != 2 || order[0] != "B" || order[1] != "A" {
+		t.Fatalf("order=%v, want [B A]", order)
+	}
+}
+
+func TestStepSkipsStaleEntries(t *testing.T) {
+	var q Queue
+	var got []phy.Micros
+	e := q.At(10, func() { got = append(got, q.Now()) })
+	q.At(20, func() { got = append(got, q.Now()) })
+	e.Defer(40)
+	// First Step must fire the t=20 event (re-arming the stale t=10
+	// entry on the way), not the deferred one.
+	if !q.Step() {
+		t.Fatal("Step found no event")
+	}
+	if len(got) != 1 || got[0] != 20 {
+		t.Fatalf("first fire at %v, want [20]", got)
+	}
+	q.Run()
+	if len(got) != 2 || got[1] != 40 {
+		t.Fatalf("fires=%v, want [20 40]", got)
+	}
+}

@@ -192,3 +192,43 @@ func TestRunReduceCountsErrors(t *testing.T) {
 		t.Fatalf("aggregates = %+v, want one group with 2 errors, 0 runs", aggs)
 	}
 }
+
+// TestGridMatrixGoldenResults pins the full analysis Results of the
+// reference grid matrix to committed hashes — the experiment-level
+// equivalence gate for behaviour-preserving simulator refactors (the
+// lazy DCF countdown landed against these values unchanged). A drift
+// here means simulated physics or analysis arithmetic moved, not just
+// event bookkeeping; regenerate together with the workload goldens
+// (see -update-golden there) only for deliberate changes.
+func TestGridMatrixGoldenResults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	want := []string{
+		"d941c7da8da14f4c4743353717f97c0f3bf5e004e0548d625930ab299f8a177e",
+		"8d8e98d89e4366edc31481321438e3d7a331418f8971269cf7f415e7ff5717ec",
+		"22c57cf9990e98595a62cc47664b843bfedd587cbe456f1bce5e2ed673f73d34",
+		"04c1699981ab7a928031359c80da8bec9899fa9f89dc426e43b84a4af2165b79",
+	}
+	specs, err := (Matrix{
+		Scenarios: []string{"grid", "grid9"},
+		Seeds:     []int64{1, 2},
+		Scales:    []float64{0.25},
+	}).Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := (&Engine{Workers: 2}).Run(specs)
+	if len(results) != len(want) {
+		t.Fatalf("matrix produced %d results, want %d", len(results), len(want))
+	}
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("run %d: %v", i, r.Err)
+		}
+		if got := hashResult(t, r.Result); got != want[i] {
+			t.Errorf("run %d (%s seed=%d) result hash drifted:\n got %s\nwant %s",
+				i, r.Spec.Name, r.Spec.Seed, got, want[i])
+		}
+	}
+}

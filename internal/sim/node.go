@@ -107,8 +107,18 @@ type Node struct {
 	idleSince    phy.Micros // when busyCount last reached 0
 	transmitting bool
 
+	// Lazy countdown state. The DIFS+backoff wait is bookkept with
+	// O(1) stamps: a busy medium freezes it (paused; slots bank at the
+	// freeze), NAV extensions restart it behind the NAV via an eventq
+	// deferral, and the single scheduled event re-keys itself in place
+	// when it surfaces — heap traffic scales with waits that mature,
+	// not with busy/idle transitions overheard. The countdown is
+	// logically armed iff the handle is pending and not paused; a
+	// paused handle is a logically-cancelled entry that drains (or is
+	// re-deferred) lazily.
 	countdown      eventq.Event
-	countdownStart phy.Micros // when the current DIFS+backoff wait began
+	countdownStart phy.Micros // when the wait (re)began; the NAV end while NAV-blocked
+	paused         bool       // busy medium froze the wait; entry may linger
 
 	awaiting     awaitKind
 	awaitTimeout eventq.Event
@@ -122,7 +132,6 @@ type Node struct {
 	// schedules thousands of events per simulated second, and closures
 	// or frame structs allocated per event would dominate the profile.
 	onCountdownFn func()
-	onNAVFn       func()
 	onAwaitFn     func()
 	onCTSDataFn   func()
 	onRespFn      func()
@@ -148,13 +157,28 @@ const (
 // initCallbacks binds the node's reusable event callbacks.
 func (n *Node) initCallbacks() {
 	n.onCountdownFn = func() {
+		// The countdown popped. Under the lazy scheme this is not
+		// necessarily maturity: the wait may have been frozen (busy
+		// medium) since the event was armed, or this may be the NAV
+		// stage completing. Any other pop is a transmit — the eager
+		// scheme's countdown pop carried no checks at all (notably, a
+		// backoff redrawn mid-await does not postpone an event the
+		// eager scheme would have left in place).
 		n.countdown = eventq.Event{}
+		if n.paused || n.busyCount > 0 {
+			// Frozen: the eager scheme had cancelled this event; the
+			// busy→idle transition re-arms.
+			return
+		}
+		if n.net.q.Now() <= n.countdownStart {
+			// NAV-stage pop: the NAV waited out, arm the DIFS+backoff
+			// leg from here, minting its fire rank inside this pop
+			// exactly as the eager NAV-wait event did.
+			n.countdown = n.net.q.At(n.countdownDeadline(), n.onCountdownFn)
+			return
+		}
 		n.backoff = 0
 		n.transmitHead()
-	}
-	n.onNAVFn = func() {
-		n.countdown = eventq.Event{}
-		n.resumeCountdown()
 	}
 	n.onAwaitFn = func() {
 		n.awaitTimeout = eventq.Event{}
@@ -250,11 +274,19 @@ func (n *Node) enqueueFrame(f queuedFrame) {
 	}
 }
 
+// countdownArmed reports whether a countdown is logically armed: the
+// event is still queued and the wait is not frozen. It is the lazy
+// equivalent of the eager scheme's countdown.Scheduled() — a paused
+// wait's lingering heap entry does not count.
+func (n *Node) countdownArmed() bool {
+	return !n.paused && n.countdown.Pending()
+}
+
 // startAccess begins (or resumes) the DIFS + backoff countdown for
 // the head-of-queue frame. fresh marks a first attempt, which may
 // transmit without backoff on a long-idle medium.
 func (n *Node) startAccess(fresh bool) {
-	if n.queueLen() == 0 || n.countdown.Scheduled() || n.transmitting || n.awaiting != awaitNone {
+	if n.queueLen() == 0 || n.countdownArmed() || n.transmitting || n.awaiting != awaitNone {
 		return
 	}
 	now := n.net.q.Now()
@@ -268,34 +300,73 @@ func (n *Node) startAccess(fresh bool) {
 	n.resumeCountdown()
 }
 
-// resumeCountdown schedules the transmit event if the medium is idle,
-// or waits for the busy→idle notification otherwise.
+// resumeCountdown arms the countdown if the medium is idle, or leaves
+// it for the busy→idle notification otherwise. A frozen wait resumes
+// with its banked backoff; the DIFS restarts from now, behind any
+// NAV.
 func (n *Node) resumeCountdown() {
-	if n.countdown.Scheduled() || n.queueLen() == 0 {
+	if n.countdownArmed() || n.queueLen() == 0 {
 		return
 	}
-	now := n.net.q.Now()
 	if n.busyCount > 0 {
 		return // mediumBusyDelta(-1) will resume us
 	}
-	start := now
-	if n.navUntil > start {
+	n.paused = false
+	now := n.net.q.Now()
+	n.countdownStart = now
+	if n.navUntil > now {
 		// Virtual carrier sense: wait out the NAV first. The backoff
-		// has not started, so countdownStart points at the NAV end;
-		// a pause during this wait must consume no slots.
+		// has not started, so countdownStart points at the NAV end; a
+		// pause during this wait must consume no slots.
 		n.countdownStart = n.navUntil
-		n.countdown = n.net.q.At(n.navUntil, n.onNAVFn)
-		return
 	}
-	n.countdownStart = start
-	wait := phy.DIFS + phy.Micros(n.backoff)*phy.SlotTime
-	n.countdown = n.net.q.After(wait, n.onCountdownFn)
+	n.armCountdown()
+}
+
+// countdownDeadline is when the wait matures if the medium stays
+// idle: DIFS plus the remaining backoff, measured from the later of
+// the last resume and the NAV end.
+func (n *Node) countdownDeadline() phy.Micros {
+	return n.countdownStart + phy.DIFS + phy.Micros(n.backoff)*phy.SlotTime
+}
+
+// armCountdown brings the scheduled event up to the live target: an
+// O(1) deferral stamp while a (possibly frozen and stale) event is
+// still queued and not past the target, one cancel+reschedule
+// otherwise. Resumed waits always target later than the entry they
+// chase (the elapsed busy time outweighs the banked slots), so the
+// fallback only triggers when a fresh wait supersedes a lingering
+// frozen one — e.g. a NAV landing mid-backoff, or a redrawn backoff
+// shorter than the abandoned wait's remainder.
+//
+// A NAV-blocked wait arms in two stages, like the eager scheme did:
+// first to the NAV end, then — inside that pop — to DIFS+backoff
+// beyond it. The two-stage shape is what keeps fire order (and so the
+// shared RNG stream) bit-identical to cancel-and-reschedule: the
+// final countdown's FIFO rank must be minted at the NAV end, not when
+// the NAV was overheard.
+func (n *Node) armCountdown() {
+	t := n.countdownDeadline()
+	if wait := n.countdownStart; wait > n.net.q.Now() {
+		t = wait // NAV stage: the backoff leg arms inside this pop
+	}
+	if at, ok := n.countdown.When(); ok {
+		if at <= t {
+			n.countdown.Defer(t)
+			return
+		}
+		n.countdown.Cancel()
+	}
+	n.countdown = n.net.q.At(t, n.onCountdownFn)
 }
 
 // pauseCountdown freezes the backoff timer when the medium goes busy,
 // banking fully-elapsed slots (802.11 freezes, not resets, backoff).
+// The scheduled event is left in the heap — marking the wait paused
+// logically cancels it with no heap traffic; it drains or is
+// re-deferred lazily.
 func (n *Node) pauseCountdown() {
-	if !n.countdown.Scheduled() {
+	if !n.countdownArmed() {
 		return
 	}
 	elapsed := n.net.q.Now() - n.countdownStart - phy.DIFS
@@ -306,8 +377,7 @@ func (n *Node) pauseCountdown() {
 		}
 		n.backoff -= consumed
 	}
-	n.countdown.Cancel()
-	n.countdown = eventq.Event{}
+	n.paused = true
 }
 
 // mediumBusyDelta is called by the medium when a sensed transmission
@@ -608,17 +678,15 @@ func (n *Node) updateNAV(now phy.Micros, duration uint16) {
 	until := now + phy.Micros(duration)
 	if until > n.navUntil {
 		n.navUntil = until
-		// If a countdown is pending it must respect the new NAV.
-		if n.countdown.Scheduled() && n.busyCount == 0 {
-			n.pauseCountdownForNAV()
+		// A running countdown must respect the new NAV: freeze (banks
+		// elapsed slots) and resume behind it. Both halves are O(1)
+		// stamps; the scheduled event chases the new target by
+		// deferral.
+		if n.countdownArmed() && n.busyCount == 0 {
+			n.pauseCountdown()
+			n.resumeCountdown()
 		}
 	}
-}
-
-// pauseCountdownForNAV reschedules a running countdown behind the NAV.
-func (n *Node) pauseCountdownForNAV() {
-	n.pauseCountdown()
-	n.resumeCountdown()
 }
 
 // moveToChannel detaches the node from its medium and attaches it to

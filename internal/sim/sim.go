@@ -203,6 +203,25 @@ func New(cfg Config) *Network {
 // Now returns the current simulation time.
 func (n *Network) Now() phy.Micros { return n.q.Now() }
 
+// EventsProcessed returns the number of event-queue callbacks fired so
+// far — the simulator's fundamental unit of work. Benches report it
+// per captured frame to track scheduler efficiency across PRs.
+func (n *Network) EventsProcessed() uint64 { return n.q.Processed() }
+
+// EventDeferrals returns the number of in-place re-arms of deferred
+// events (see eventq.Event.Defer) — the residual heap traffic of the
+// lazy DCF countdown.
+func (n *Network) EventDeferrals() uint64 { return n.q.Deferrals() }
+
+// EventHeapOps returns the total event-queue heap mutations beyond
+// the unavoidable fire pops: schedulings (inserts), eager
+// cancellations (removes), and deferred re-arms (sifts). This is the
+// traffic the lazy DCF countdown cuts from O(overheard busy/idle
+// transitions) to O(transmissions).
+func (n *Network) EventHeapOps() uint64 {
+	return n.q.Scheduled() + n.q.Cancelled() + n.q.Deferrals()
+}
+
 // Rand exposes the deterministic RNG (used by traffic generators).
 func (n *Network) Rand() *rand.Rand { return n.rng }
 
