@@ -2,8 +2,10 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"math"
 	"sort"
+	"text/tabwriter"
 )
 
 // Regression is one benchmark whose cost grew beyond the tolerance.
@@ -29,28 +31,9 @@ func (r Regression) String() string {
 // returned in stable name order alongside the number of benchmarks
 // compared.
 func compare(old, new *Output, tolerance float64) (regs []Regression, compared int, err error) {
-	baseline := make(map[string]Result, len(old.Results))
-	for _, r := range old.Results {
-		baseline[r.Name] = r
-	}
-	names := make([]string, 0, len(new.Results))
-	seen := make(map[string]bool)
-	for _, r := range new.Results {
-		if _, ok := baseline[r.Name]; ok && !seen[r.Name] {
-			names = append(names, r.Name)
-			seen[r.Name] = true
-		}
-	}
-	sort.Strings(names)
-	if len(names) == 0 {
-		return nil, 0, fmt.Errorf("no benchmarks in common between baseline and current run")
-	}
-
-	current := make(map[string]Result, len(new.Results))
-	for _, r := range new.Results {
-		if _, ok := current[r.Name]; !ok {
-			current[r.Name] = r
-		}
+	names, baseline, current, err := intersect(old, new)
+	if err != nil {
+		return nil, 0, err
 	}
 	exceeds := func(oldV, newV float64) (float64, bool) {
 		if oldV == 0 {
@@ -74,4 +57,70 @@ func compare(old, new *Output, tolerance float64) (regs []Regression, compared i
 		}
 	}
 	return regs, compared, nil
+}
+
+// intersect resolves the benchmarks shared by both documents, keeping
+// the first occurrence of duplicated names and failing on an empty
+// intersection (a renamed baseline must not disarm the gate).
+func intersect(old, new *Output) (names []string, baseline, current map[string]Result, err error) {
+	baseline = make(map[string]Result, len(old.Results))
+	for _, r := range old.Results {
+		if _, ok := baseline[r.Name]; !ok {
+			baseline[r.Name] = r
+		}
+	}
+	seen := make(map[string]bool)
+	for _, r := range new.Results {
+		if _, ok := baseline[r.Name]; ok && !seen[r.Name] {
+			names = append(names, r.Name)
+			seen[r.Name] = true
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, nil, nil, fmt.Errorf("no benchmarks in common between baseline and current run")
+	}
+	current = make(map[string]Result, len(new.Results))
+	for _, r := range new.Results {
+		if _, ok := current[r.Name]; !ok {
+			current[r.Name] = r
+		}
+	}
+	return names, baseline, current, nil
+}
+
+// writeDeltaTable renders every compared benchmark's old and new
+// costs with signed percentage deltas — the -verbose view, so a
+// passing gate still shows where the time went.
+func writeDeltaTable(w io.Writer, old, new *Output) error {
+	names, baseline, current, err := intersect(old, new)
+	if err != nil {
+		return err
+	}
+	tw := tabwriter.NewWriter(w, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(tw, "benchmark\told ns/op\tnew ns/op\tΔ\told allocs\tnew allocs\tΔ")
+	pct := func(oldV, newV float64) string {
+		if oldV == 0 {
+			if newV == 0 {
+				return "0.0%"
+			}
+			return "+inf"
+		}
+		return fmt.Sprintf("%+.1f%%", (newV/oldV-1)*100)
+	}
+	for _, name := range names {
+		o, n := baseline[name], current[name]
+		allocs := []string{"-", "-", "-"}
+		if o.AllocsPerOp != nil && n.AllocsPerOp != nil {
+			allocs = []string{
+				fmt.Sprintf("%.0f", *o.AllocsPerOp),
+				fmt.Sprintf("%.0f", *n.AllocsPerOp),
+				pct(*o.AllocsPerOp, *n.AllocsPerOp),
+			}
+		}
+		fmt.Fprintf(tw, "%s\t%.4g\t%.4g\t%s\t%s\t%s\t%s\n",
+			name, o.NsPerOp, n.NsPerOp, pct(o.NsPerOp, n.NsPerOp),
+			allocs[0], allocs[1], allocs[2])
+	}
+	return tw.Flush()
 }

@@ -115,3 +115,48 @@ BenchmarkSimGrid-8   3   12000000 ns/op   2222 allocs/op
 		t.Fatalf("regressions = %v, want one ns/op regression", regs)
 	}
 }
+
+func TestDeltaTable(t *testing.T) {
+	old := doc(
+		Result{Name: "BenchmarkSimGrid", NsPerOp: 1000, AllocsPerOp: fp(100)},
+		Result{Name: "BenchmarkSimDay", NsPerOp: 500},
+		Result{Name: "BenchmarkGone", NsPerOp: 10},
+	)
+	cur := doc(
+		Result{Name: "BenchmarkSimGrid", NsPerOp: 900, AllocsPerOp: fp(110)},
+		Result{Name: "BenchmarkSimDay", NsPerOp: 500},
+	)
+	var buf strings.Builder
+	if err := writeDeltaTable(&buf, old, cur); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// Header plus one row per benchmark in the intersection — the
+	// baseline-only BenchmarkGone is omitted.
+	if len(lines) != 3 {
+		t.Fatalf("%d lines, want header + 2 rows:\n%s", len(lines), out)
+	}
+	if !strings.Contains(out, "BenchmarkSimGrid") || strings.Contains(out, "BenchmarkGone") {
+		t.Fatalf("wrong rows:\n%s", out)
+	}
+	// Improvements show as negative deltas, regressions positive.
+	if !strings.Contains(out, "-10.0%") || !strings.Contains(out, "+10.0%") {
+		t.Fatalf("missing signed deltas:\n%s", out)
+	}
+	// The allocs columns degrade to "-" when -benchmem was off. Rows
+	// are in sorted name order, so SimDay precedes SimGrid.
+	day := lines[1]
+	if !strings.Contains(day, "BenchmarkSimDay") || !strings.Contains(day, "-") {
+		t.Fatalf("missing placeholder for absent allocs: %q", day)
+	}
+}
+
+func TestDeltaTableEmptyIntersection(t *testing.T) {
+	old := doc(Result{Name: "BenchmarkA", NsPerOp: 1})
+	cur := doc(Result{Name: "BenchmarkB", NsPerOp: 1})
+	var buf strings.Builder
+	if err := writeDeltaTable(&buf, old, cur); err == nil {
+		t.Fatal("empty intersection did not error")
+	}
+}

@@ -16,6 +16,9 @@
 // non-zero, so a perf regression fails CI instead of merging as a
 // silently-archived artifact. Benchmarks appearing in only one
 // document are skipped, but the intersection must be non-empty.
+// Adding -verbose prints a per-benchmark delta table (old/new ns/op
+// and allocs/op with signed percentages) even when the gate passes,
+// so CI logs show the perf trajectory, not just its violations.
 package main
 
 import (
@@ -53,6 +56,7 @@ func main() {
 	out := flag.String("o", "", "output file (default stdout; suppressed under -compare)")
 	baseline := flag.String("compare", "", "baseline BENCH_*.json to gate against; exit non-zero on regression")
 	tolerance := flag.Float64("tolerance", 0.15, "allowed fractional ns/op and allocs/op growth for -compare")
+	verbose := flag.Bool("verbose", false, "with -compare, print the per-benchmark delta table even when the gate passes")
 	flag.Parse()
 
 	fail := func(err error) {
@@ -94,6 +98,11 @@ func main() {
 		regs, compared, err := compare(old, doc, *tolerance)
 		if err != nil {
 			fail(err)
+		}
+		if *verbose {
+			if err := writeDeltaTable(os.Stderr, old, doc); err != nil {
+				fail(err)
+			}
 		}
 		for _, r := range regs {
 			fmt.Fprintln(os.Stderr, r)

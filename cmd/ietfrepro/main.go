@@ -22,9 +22,13 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"wlan80211/internal/experiment"
 	"wlan80211/internal/report"
@@ -169,18 +173,34 @@ func runMatrix(nSeeds int, scale float64, workers int, grid bool) {
 		fmt.Fprintln(os.Stderr, "ietfrepro:", err)
 		os.Exit(1)
 	}
+	// SIGINT/SIGTERM stops dispatching further seeds; completed runs
+	// still aggregate, so an interrupted robustness sweep reports the
+	// seeds it finished.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
 	eng := &experiment.Engine{Workers: workers}
-	results := eng.Run(specs)
-	failed := 0
+	results := eng.RunContext(ctx, specs)
+	failed, canceled := 0, 0
 	for _, res := range results {
-		if res.Err != nil {
+		switch {
+		case errors.Is(res.Err, context.Canceled):
+			canceled++
+		case res.Err != nil:
 			failed++
 			fmt.Fprintf(os.Stderr, "ietfrepro: %s seed=%d: %v\n", res.Spec.Name, res.Spec.Seed, res.Err)
 		}
 	}
 	title := fmt.Sprintf("Repro matrix (%d runs)", len(results))
+	if canceled > 0 {
+		fmt.Fprintf(os.Stderr, "ietfrepro: interrupted: %d of %d runs canceled, aggregating the %d completed\n",
+			canceled, len(results), len(results)-canceled)
+		title = fmt.Sprintf("Repro matrix (%d of %d runs; interrupted)", len(results)-canceled, len(results))
+	}
 	experiment.AggregateTable(title, experiment.Aggregate(results)).WriteTo(os.Stdout)
 	if failed > 0 {
 		os.Exit(1)
+	}
+	if canceled > 0 {
+		os.Exit(130)
 	}
 }

@@ -20,12 +20,16 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"wlan80211/internal/experiment"
 )
@@ -90,38 +94,57 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	// SIGINT/SIGTERM stops dispatching new runs; in-flight runs
+	// complete and the partial matrix is still reported, so a long
+	// sweep cut short keeps what it already paid for.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+
 	eng := &experiment.Engine{Workers: *workers, Metrics: splitList(*metrics)}
 	var results []experiment.RunResult
 	var aggs []experiment.Aggregated
-	failed := 0
+	failed, canceled := 0, 0
 	if *reduce {
 		// Reduce-as-you-go: per-run Results are dropped the moment
 		// their summary folds into the aggregates, so the matrix size
 		// no longer bounds memory.
 		var errs []error
-		aggs, errs = eng.RunReduce(specs)
+		aggs, errs = eng.RunReduceContext(ctx, specs)
 		for i, err := range errs {
-			if err != nil {
+			switch {
+			case errors.Is(err, context.Canceled):
+				canceled++
+			case err != nil:
 				failed++
 				s := specs[i]
 				fmt.Fprintf(os.Stderr, "wlansweep: %s seed=%d scale=%g: %v\n", s.Name, s.Seed, s.Scale, err)
 			}
 		}
 	} else {
-		results = eng.Run(specs)
+		results = eng.RunContext(ctx, specs)
 		aggs = experiment.Aggregate(results)
 		for _, r := range results {
-			if r.Err != nil {
+			switch {
+			case errors.Is(r.Err, context.Canceled):
+				canceled++
+			case r.Err != nil:
 				failed++
 				fmt.Fprintf(os.Stderr, "wlansweep: %s seed=%d scale=%g: %v\n", r.Spec.Name, r.Spec.Seed, r.Spec.Scale, r.Err)
 			}
 		}
+	}
+	if canceled > 0 {
+		fmt.Fprintf(os.Stderr, "wlansweep: interrupted: %d of %d runs canceled, reporting the %d completed\n",
+			canceled, len(specs), len(specs)-canceled)
 	}
 
 	// With -json - the JSON document owns stdout; the table would
 	// corrupt it for any consumer.
 	if *jsonOut != "-" {
 		title := fmt.Sprintf("Experiment matrix (%d runs)", len(specs))
+		if canceled > 0 {
+			title = fmt.Sprintf("Experiment matrix (%d of %d runs; interrupted)", len(specs)-canceled, len(specs))
+		}
 		experiment.AggregateTable(title, aggs).WriteTo(os.Stdout)
 	}
 
@@ -161,6 +184,9 @@ func main() {
 	}
 	if failed > 0 {
 		os.Exit(1)
+	}
+	if canceled > 0 {
+		os.Exit(130) // conventional interrupted-by-signal status
 	}
 }
 

@@ -27,6 +27,7 @@ package analysis
 import (
 	"io"
 	"sort"
+	"sync/atomic"
 
 	"wlan80211/internal/capture"
 	"wlan80211/internal/pcapio"
@@ -46,6 +47,12 @@ type Options struct {
 	// are identical to the sequential path: shards are independent
 	// and merge in ascending channel order.
 	Parallel bool
+	// Extra appends per-shard metric stages beyond the registered
+	// set: each factory is invoked once per channel shard, exactly
+	// like a registry factory, and its stages see the same annotated
+	// FrameEvents. This is how embedding layers (the live monitor)
+	// tap the decoder without registering globally.
+	Extra []Factory
 }
 
 // shard is the per-channel unit of work: its own decoder and metric
@@ -69,6 +76,42 @@ type Analyzer struct {
 	defs   []metricDef
 	shards map[phy.Channel]*shard
 	res    *Result
+
+	// Live counters behind Snapshot: readable from any goroutine
+	// while Feed runs on another.
+	snapFrames   atomic.Int64
+	snapErrors   atomic.Int64
+	snapChannels atomic.Int64
+	snapLast     atomic.Int64
+}
+
+// Snapshot is a goroutine-safe point-in-time view of an Analyzer's
+// progress — the monitoring surface, so an embedding layer never
+// reaches into decoder or stage internals.
+type Snapshot struct {
+	// Frames counts records accepted by Feed so far.
+	Frames int64
+	// ParseErrors counts records decoded so far whose MAC frame
+	// failed to parse. In parallel mode decoding lags Feed, so this
+	// can trail Frames' implied progress.
+	ParseErrors int64
+	// Channels is the number of channel shards opened.
+	Channels int
+	// LastTime is the newest record timestamp fed.
+	LastTime phy.Micros
+}
+
+// Snapshot returns the current progress counters. Unlike every other
+// Analyzer method it is safe to call concurrently with Feed (from any
+// goroutine): values are individually atomic and mutually consistent
+// only up to Feed's progress.
+func (a *Analyzer) Snapshot() Snapshot {
+	return Snapshot{
+		Frames:      a.snapFrames.Load(),
+		ParseErrors: a.snapErrors.Load(),
+		Channels:    int(a.snapChannels.Load()),
+		LastTime:    phy.Micros(a.snapLast.Load()),
+	}
 }
 
 // New builds an Analyzer. It fails only when Options.Metrics names an
@@ -90,9 +133,12 @@ func (a *Analyzer) shardFor(ch phy.Channel) *shard {
 	if s, ok := a.shards[ch]; ok {
 		return s
 	}
-	metrics := make([]Metric, len(a.defs))
-	for i, d := range a.defs {
-		metrics[i] = d.factory()
+	metrics := make([]Metric, 0, len(a.defs)+len(a.opts.Extra))
+	for _, d := range a.defs {
+		metrics = append(metrics, d.factory())
+	}
+	for _, f := range a.opts.Extra {
+		metrics = append(metrics, f())
 	}
 	s := &shard{dec: newDecoder(metrics)}
 	if a.opts.Parallel {
@@ -102,12 +148,15 @@ func (a *Analyzer) shardFor(ch phy.Channel) *shard {
 			defer close(s.done)
 			for batch := range s.in {
 				for i := range batch {
-					s.dec.feed(batch[i])
+					if !s.dec.feed(batch[i]) {
+						a.snapErrors.Add(1)
+					}
 				}
 			}
 		}()
 	}
 	a.shards[ch] = s
+	a.snapChannels.Add(1)
 	return s
 }
 
@@ -120,8 +169,17 @@ func (a *Analyzer) Feed(rec capture.Record) {
 		panic("analysis: Feed after Result")
 	}
 	s := a.shardFor(rec.Channel)
+	a.snapFrames.Add(1)
+	for {
+		old := a.snapLast.Load()
+		if int64(rec.Time) <= old || a.snapLast.CompareAndSwap(old, int64(rec.Time)) {
+			break
+		}
+	}
 	if !a.opts.Parallel {
-		s.dec.feed(rec)
+		if !s.dec.feed(rec) {
+			a.snapErrors.Add(1)
+		}
 		return
 	}
 	s.buf = append(s.buf, rec)

@@ -128,10 +128,12 @@ func newDecoder(metrics []Metric) *decoder {
 	return &decoder{metrics: metrics, firstSeen: make(map[uint64]phy.Micros)}
 }
 
-// feed processes one record. Records must arrive in non-decreasing
-// time order per channel; a record older than the open second is
-// folded into the open second rather than reopening a closed one.
-func (d *decoder) feed(rec capture.Record) {
+// feed processes one record and reports whether its MAC frame parsed
+// (false counts toward ParseErrors). Records must arrive in
+// non-decreasing time order per channel; a record older than the open
+// second is folded into the open second rather than reopening a
+// closed one.
+func (d *decoder) feed(rec capture.Record) bool {
 	sec := rec.Second()
 	if !d.started {
 		d.started = true
@@ -154,7 +156,7 @@ func (d *decoder) feed(rec capture.Record) {
 	if err != nil {
 		d.parseErrors++
 		d.dispatch(ev) // stages still see the record (capture counts)
-		return
+		return false
 	}
 	ev.Parsed = p
 
@@ -264,6 +266,7 @@ func (d *decoder) feed(rec capture.Record) {
 	}
 
 	d.dispatch(ev)
+	return true
 }
 
 func (d *decoder) dispatch(ev *FrameEvent) {

@@ -21,6 +21,19 @@ import (
 // horizon Reorder uses — and it bounds the table at the number of
 // frames that can end within one maxAirtime, independent of trace
 // length, preserving the engine's flat-memory guarantee.
+//
+// Boundary contract (pinned by TestDedupHorizonBoundary): an entry
+// whose start time is exactly watermark-maxAirtime is evicted, which
+// is safe because a well-formed (end-ordered, horizon-bounded) stream
+// cannot deliver a duplicate that late unless the frame's airtime is
+// exactly maxAirtime. A duplicate that nevertheless arrives after its
+// entry was evicted — a source violating the ordering contract, or a
+// pathological maximum-airtime frame — is forwarded, not dropped:
+// late duplicates are counted (double-counted downstream) rather than
+// risking the loss of a genuinely new observation. This mirrors the
+// materialized path's behavior only within the horizon; beyond it the
+// streaming path deliberately degrades to over-counting, never to
+// dropping.
 
 // dedupEntry is one remembered observation, keyed exactly as
 // capture.Merge's sameAir compares records: start time, channel,

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -156,6 +157,16 @@ type Engine struct {
 // or completion order. Per-run failures land in RunResult.Err rather
 // than aborting the matrix.
 func (e *Engine) Run(specs []Spec) []RunResult {
+	return e.RunContext(context.Background(), specs)
+}
+
+// RunContext is Run with cooperative cancellation: once ctx is done,
+// no further specs are dispatched; in-flight runs complete (a run is
+// not interruptible mid-stream) and every undispatched spec's
+// RunResult carries ctx.Err(). The partial results that did complete
+// are returned normally, so a CLI can still aggregate and report them
+// after SIGINT/SIGTERM.
+func (e *Engine) RunContext(ctx context.Context, specs []Spec) []RunResult {
 	results := make([]RunResult, len(specs))
 	workers := e.Workers
 	if workers <= 0 {
@@ -175,8 +186,16 @@ func (e *Engine) Run(specs []Spec) []RunResult {
 			}
 		}()
 	}
+dispatch:
 	for i := range specs {
-		jobs <- i
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+			for j := i; j < len(specs); j++ {
+				results[j] = RunResult{Spec: specs[j], Err: ctx.Err()}
+			}
+			break dispatch
+		}
 	}
 	close(jobs)
 	wg.Wait()
@@ -226,6 +245,16 @@ func (e *Engine) runOne(spec Spec) RunResult {
 // error slice (nil entries for successes) and count in
 // Aggregated.Errors.
 func (e *Engine) RunReduce(specs []Spec) ([]Aggregated, []error) {
+	return e.RunReduceContext(context.Background(), specs)
+}
+
+// RunReduceContext is RunReduce with cooperative cancellation,
+// mirroring RunContext: once ctx is done no further specs dispatch,
+// in-flight runs complete and fold normally, and every undispatched
+// spec gets ctx.Err() in the error slice (counting in
+// Aggregated.Errors). The partial aggregates remain deterministic:
+// completed runs fold in spec order exactly as without cancellation.
+func (e *Engine) RunReduceContext(ctx context.Context, specs []Spec) ([]Aggregated, []error) {
 	workers := e.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -289,6 +318,10 @@ func (e *Engine) RunReduce(specs []Spec) ([]Aggregated, []error) {
 	errs := make([]error, len(specs))
 	pending := make(map[int]done, workers)
 	sent, next, peak := 0, 0, 0
+	// total is how many specs will produce worker results; a cancel
+	// freezes it at the dispatch point so the loop only waits for
+	// in-flight runs.
+	total := len(specs)
 	apply := func(r done) {
 		gi := groupOf[r.i]
 		if r.err != nil {
@@ -301,14 +334,17 @@ func (e *Engine) RunReduce(specs []Spec) ([]Aggregated, []error) {
 			accs[gi][fi].Add(f.Get(r.sum))
 		}
 	}
-	for completed := 0; completed < len(specs); {
+	for completed := 0; completed < total; {
 		var r done
-		if sent < len(specs) && sent < next+workers {
+		if sent < total && sent < next+workers {
 			select {
 			case jobs <- sent:
 				sent++
 				continue
 			case r = <-results:
+			case <-ctx.Done():
+				total = sent
+				continue
 			}
 		} else {
 			r = <-results
@@ -331,6 +367,16 @@ func (e *Engine) RunReduce(specs []Spec) ([]Aggregated, []error) {
 	close(jobs)
 	wg.Wait()
 	e.peakPending = peak
+
+	// Undispatched specs were canceled: record the error in spec
+	// order so Aggregated.Errors matches the RunContext path.
+	if total < len(specs) {
+		cerr := ctx.Err()
+		for j := total; j < len(specs); j++ {
+			errs[j] = cerr
+			aggs[groupOf[j]].Errors++
+		}
+	}
 
 	for gi := range aggs {
 		aggs[gi].Fields = make([]FieldStat, len(summaryFields))

@@ -1,0 +1,125 @@
+package experiment
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// fakeScenario is a registry-free Scenario whose run emits nothing and
+// invokes a hook — enough to exercise the engine's dispatch logic
+// without simulator cost.
+type fakeScenario struct {
+	name     string
+	onStream func()
+}
+
+func (f fakeScenario) Name() string        { return f.name }
+func (f fakeScenario) Params() []Param     { return nil }
+func (f fakeScenario) Build() (Run, error) { return fakeRun{f.onStream}, nil }
+
+type fakeRun struct{ onStream func() }
+
+func (f fakeRun) Stream(sink Sink) error {
+	if f.onStream != nil {
+		f.onStream()
+	}
+	return nil
+}
+
+func fakeSpecs(n int, onFirstStream func()) []Spec {
+	specs := make([]Spec, n)
+	for i := range specs {
+		hook := func() {}
+		if i == 0 {
+			hook = onFirstStream
+		}
+		specs[i] = Spec{Name: "fake", Seed: int64(i + 1), Scale: 1, Scenario: fakeScenario{"fake", hook}}
+	}
+	return specs
+}
+
+// TestRunContextCancel cancels the context from inside the first run:
+// the first run completes, every undispatched spec comes back with
+// ctx.Err(), and the canceled specs form a suffix (cancellation stops
+// dispatch, it never abandons in-flight work).
+func TestRunContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	specs := fakeSpecs(6, cancel)
+	eng := &Engine{Workers: 1}
+	results := eng.RunContext(ctx, specs)
+
+	if results[0].Err != nil {
+		t.Fatalf("first (in-flight) run failed: %v", results[0].Err)
+	}
+	canceled := 0
+	for i, r := range results {
+		if errors.Is(r.Err, context.Canceled) {
+			canceled++
+		} else if canceled > 0 {
+			t.Fatalf("spec %d completed after a canceled spec: cancellation must be a suffix", i)
+		}
+	}
+	// The dispatcher may hand out at most one more spec after the
+	// cancel races the worker becoming free; everything beyond that
+	// must be canceled.
+	if canceled < len(specs)-2 {
+		t.Fatalf("only %d specs canceled of %d; cancellation did not stop dispatch", canceled, len(specs))
+	}
+}
+
+// TestRunReduceContextCancel mirrors TestRunContextCancel on the
+// reduce-as-you-go path: canceled specs land in the error slice and
+// count in Aggregated.Errors, completed runs still fold.
+func TestRunReduceContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	specs := fakeSpecs(6, cancel)
+	eng := &Engine{Workers: 1}
+	aggs, errs := eng.RunReduceContext(ctx, specs)
+
+	if len(aggs) != 1 {
+		t.Fatalf("%d aggregate groups, want 1", len(aggs))
+	}
+	canceled := 0
+	for i, err := range errs {
+		if errors.Is(err, context.Canceled) {
+			canceled++
+		} else if err != nil {
+			t.Fatalf("spec %d: unexpected error %v", i, err)
+		} else if canceled > 0 {
+			t.Fatalf("spec %d completed after a canceled spec", i)
+		}
+	}
+	if canceled < len(specs)-2 {
+		t.Fatalf("only %d specs canceled of %d", canceled, len(specs))
+	}
+	if aggs[0].Errors != canceled {
+		t.Fatalf("Aggregated.Errors = %d, canceled specs = %d", aggs[0].Errors, canceled)
+	}
+	if aggs[0].Runs != len(specs)-canceled {
+		t.Fatalf("Aggregated.Runs = %d, want %d", aggs[0].Runs, len(specs)-canceled)
+	}
+}
+
+// TestRunContextUncanceled pins that the context path is transparent
+// when the context never fires.
+func TestRunContextUncanceled(t *testing.T) {
+	specs := fakeSpecs(4, func() {})
+	eng := &Engine{Workers: 2}
+	for _, r := range eng.RunContext(context.Background(), specs) {
+		if r.Err != nil {
+			t.Fatalf("run failed: %v", r.Err)
+		}
+	}
+	aggs, errs := eng.RunReduceContext(context.Background(), specs)
+	for _, err := range errs {
+		if err != nil {
+			t.Fatalf("reduce run failed: %v", err)
+		}
+	}
+	if aggs[0].Runs != 4 || aggs[0].Errors != 0 {
+		t.Fatalf("aggregate runs=%d errors=%d, want 4/0", aggs[0].Runs, aggs[0].Errors)
+	}
+}

@@ -19,16 +19,23 @@ import (
 // the newest end by more than maxAirtime can never be preceded by a
 // future arrival and is safe to release.
 
-// maxReorderWire bounds the wire length a reordered stream can carry:
+// MaxReorderWire bounds the wire length a reordered stream can carry:
 // comfortably above both the 802.11 MPDU ceiling (2346 bytes) and the
-// largest frame the traffic profiles generate (~1540 bytes).
-const maxReorderWire = 4096
+// largest frame the traffic profiles generate (~1540 bytes). Ingest
+// layers validate against it before feeding the streaming stages,
+// because Add fails loudly on anything larger.
+const MaxReorderWire = 4096
 
 // maxAirtime is the longest any single frame can occupy the air: a
-// maxReorderWire-byte frame at 1 Mbps with the long preamble (~33 ms).
+// MaxReorderWire-byte frame at 1 Mbps with the long preamble (~33 ms).
 // It is the reordering horizon — and therefore the peak buffer depth,
 // independent of trace length.
-var maxAirtime = phy.Airtime(maxReorderWire, phy.Rate1Mbps)
+var maxAirtime = phy.Airtime(MaxReorderWire, phy.Rate1Mbps)
+
+// ReorderHorizon returns the streaming stages' shared time horizon:
+// records are held (Reorder) or remembered (Dedup) only this long
+// behind the stream's end-time watermark.
+func ReorderHorizon() phy.Micros { return maxAirtime }
 
 // pendingRec is one buffered record; rec.Frame aliases buf, which is
 // recycled once the record is released.
@@ -69,7 +76,7 @@ func NewReorder(sink Sink) *Reorder {
 func (r *Reorder) Add(rec capture.Record) {
 	air := phy.Airtime(rec.OrigLen, rec.Rate)
 	if air > maxAirtime {
-		// Impossible for the simulator's traffic (see maxReorderWire);
+		// Impossible for the simulator's traffic (see MaxReorderWire);
 		// fail loudly rather than silently mis-sort.
 		panic(fmt.Sprintf("experiment: frame airtime %dµs exceeds reorder horizon %dµs", air, maxAirtime))
 	}

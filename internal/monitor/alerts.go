@@ -1,0 +1,235 @@
+package monitor
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Rule is one threshold alert definition evaluated against a
+// session's rolling window every time a second closes. Hysteresis:
+// for Op ">=" the alert raises when the windowed value reaches Raise
+// and clears only once it falls below Clear (Clear <= Raise); for
+// "<=" the comparisons mirror (raises at or below Raise, clears above
+// Clear, Clear >= Raise). CooldownSec suppresses a re-raise for that
+// many trace seconds after a clear, so a value oscillating around the
+// threshold cannot flap the alert every second.
+type Rule struct {
+	// Name identifies the rule in alert events (unique per session).
+	Name string `json:"name"`
+	// Metric selects the windowed value: "utilization_pct",
+	// "retry_rate_pct", "throughput_mbps", "goodput_mbps", or
+	// "frames_per_sec".
+	Metric string `json:"metric"`
+	// Op is ">=" (alert on high values) or "<=" (alert on low).
+	Op string `json:"op"`
+	// Raise and Clear are the hysteresis thresholds.
+	Raise float64 `json:"raise"`
+	Clear float64 `json:"clear"`
+	// WindowSec is the aggregation window the rule evaluates over
+	// (defaults to DefaultMetricsWindowSec).
+	WindowSec int `json:"window_sec,omitempty"`
+	// CooldownSec suppresses re-raising for this many seconds after a
+	// clear.
+	CooldownSec int `json:"cooldown_sec,omitempty"`
+}
+
+// Validate checks the rule is well-formed and its thresholds are
+// ordered for hysteresis rather than against it.
+func (r Rule) Validate() error {
+	if r.Name == "" {
+		return fmt.Errorf("alert rule: name required")
+	}
+	switch r.Metric {
+	case "utilization_pct", "retry_rate_pct", "throughput_mbps", "goodput_mbps", "frames_per_sec":
+	default:
+		return fmt.Errorf("alert rule %q: unknown metric %q", r.Name, r.Metric)
+	}
+	switch r.Op {
+	case ">=":
+		if r.Clear > r.Raise {
+			return fmt.Errorf("alert rule %q: clear %g above raise %g inverts hysteresis for >=", r.Name, r.Clear, r.Raise)
+		}
+	case "<=":
+		if r.Clear < r.Raise {
+			return fmt.Errorf("alert rule %q: clear %g below raise %g inverts hysteresis for <=", r.Name, r.Clear, r.Raise)
+		}
+	default:
+		return fmt.Errorf("alert rule %q: op must be \">=\" or \"<=\", got %q", r.Name, r.Op)
+	}
+	if r.WindowSec < 0 || r.CooldownSec < 0 {
+		return fmt.Errorf("alert rule %q: negative window or cooldown", r.Name)
+	}
+	return nil
+}
+
+// value extracts the rule's metric from a window aggregate.
+func (r Rule) value(m WindowMetrics) float64 {
+	switch r.Metric {
+	case "utilization_pct":
+		return m.UtilizationPct
+	case "retry_rate_pct":
+		return m.RetryRatePct
+	case "throughput_mbps":
+		return m.ThroughputMbps
+	case "goodput_mbps":
+		return m.GoodputMbps
+	case "frames_per_sec":
+		return m.FramesPerSec
+	}
+	return 0
+}
+
+// Alert states.
+const (
+	StateRaised  = "raised"
+	StateCleared = "cleared"
+)
+
+// AlertEvent is one state transition of one rule.
+type AlertEvent struct {
+	Rule   string `json:"rule"`
+	Metric string `json:"metric"`
+	// State is "raised" or "cleared".
+	State string `json:"state"`
+	// Value is the windowed metric value that triggered the
+	// transition; Threshold the side it crossed.
+	Value     float64 `json:"value"`
+	Threshold float64 `json:"threshold"`
+	// Second is the trace second whose close triggered evaluation.
+	Second int64 `json:"second"`
+}
+
+// AlertStatus is one rule's current standing, served by the API.
+type AlertStatus struct {
+	Rule   Rule    `json:"rule"`
+	Active bool    `json:"active"`
+	Value  float64 `json:"value"`
+	// Since is the trace second of the last transition (-1 if none).
+	Since int64 `json:"since"`
+}
+
+// maxAlertHistory bounds the per-session event log; older events are
+// discarded oldest-first.
+const maxAlertHistory = 256
+
+// ruleState is one rule's mutable standing.
+type ruleState struct {
+	rule      Rule
+	active    bool
+	value     float64
+	since     int64
+	lastClear int64 // trace second of last clear, for cooldown
+	hasClear  bool
+}
+
+// AlertEngine evaluates a session's rules against its window whenever
+// a second closes. Goroutine-safe: collectors on multiple channel
+// shards evaluate concurrently with API reads.
+type AlertEngine struct {
+	mu      sync.Mutex
+	states  []*ruleState
+	history []AlertEvent
+	lastSec int64
+	started bool
+}
+
+// NewAlertEngine validates the rules and builds an engine; returns an
+// error naming the first invalid rule.
+func NewAlertEngine(rules []Rule) (*AlertEngine, error) {
+	seen := make(map[string]bool, len(rules))
+	eng := &AlertEngine{}
+	for _, r := range rules {
+		if err := r.Validate(); err != nil {
+			return nil, err
+		}
+		if seen[r.Name] {
+			return nil, fmt.Errorf("alert rule %q: duplicate name", r.Name)
+		}
+		seen[r.Name] = true
+		eng.states = append(eng.states, &ruleState{rule: r, since: -1})
+	}
+	return eng, nil
+}
+
+// crossed reports whether v is on the alerting side of threshold t
+// under the rule's comparison.
+func crossed(op string, v, t float64) bool {
+	if op == "<=" {
+		return v <= t
+	}
+	return v >= t
+}
+
+// Evaluate runs every rule against the window state after sec closed.
+// Seconds may arrive out of order across channel shards; evaluation
+// is idempotent per second and only ever advances.
+func (e *AlertEngine) Evaluate(w *Window, sec int64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.started && sec <= e.lastSec {
+		return
+	}
+	e.started = true
+	e.lastSec = sec
+	for _, st := range e.states {
+		m := w.Metrics(st.rule.WindowSec)
+		v := st.rule.value(m)
+		st.value = v
+		if !st.active {
+			if !crossed(st.rule.Op, v, st.rule.Raise) {
+				continue
+			}
+			if st.hasClear && st.rule.CooldownSec > 0 && sec < st.lastClear+int64(st.rule.CooldownSec) {
+				continue // still cooling down from the last clear
+			}
+			st.active = true
+			st.since = sec
+			e.record(AlertEvent{
+				Rule: st.rule.Name, Metric: st.rule.Metric, State: StateRaised,
+				Value: v, Threshold: st.rule.Raise, Second: sec,
+			})
+			continue
+		}
+		// Active: clear only once the value has retreated past the
+		// clear threshold (strictly, so Clear==Raise degenerates to a
+		// simple threshold with no hysteresis band).
+		if crossed(st.rule.Op, v, st.rule.Clear) {
+			continue
+		}
+		st.active = false
+		st.since = sec
+		st.lastClear = sec
+		st.hasClear = true
+		e.record(AlertEvent{
+			Rule: st.rule.Name, Metric: st.rule.Metric, State: StateCleared,
+			Value: v, Threshold: st.rule.Clear, Second: sec,
+		})
+	}
+}
+
+// record appends to the bounded history. Caller holds e.mu.
+func (e *AlertEngine) record(ev AlertEvent) {
+	if len(e.history) >= maxAlertHistory {
+		n := copy(e.history, e.history[len(e.history)-maxAlertHistory+1:])
+		e.history = e.history[:n]
+	}
+	e.history = append(e.history, ev)
+}
+
+// Status snapshots every rule's current standing.
+func (e *AlertEngine) Status() []AlertStatus {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]AlertStatus, len(e.states))
+	for i, st := range e.states {
+		out[i] = AlertStatus{Rule: st.rule, Active: st.active, Value: st.value, Since: st.since}
+	}
+	return out
+}
+
+// History returns the event log, oldest first (a copy).
+func (e *AlertEngine) History() []AlertEvent {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return append([]AlertEvent(nil), e.history...)
+}

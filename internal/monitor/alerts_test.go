@@ -1,0 +1,135 @@
+package monitor
+
+import (
+	"strings"
+	"testing"
+
+	"wlan80211/internal/analysis"
+	"wlan80211/internal/phy"
+)
+
+// feedSecond closes one second with the given busy fraction and runs
+// the engine against it.
+func feedSecond(w *Window, e *AlertEngine, sec int64, busyPct float64) {
+	if busyPct > 0 {
+		cbt := phy.Micros(busyPct / 100 * float64(phy.MicrosPerSecond))
+		w.Observe(ev(sec, analysis.KindData, cbt, 1000, phy.Channel1))
+	}
+	w.CloseSecond(sec)
+	e.Evaluate(w, sec)
+}
+
+func utilRule(raise, clear float64, window, cooldown int) Rule {
+	return Rule{
+		Name: "util-high", Metric: "utilization_pct", Op: ">=",
+		Raise: raise, Clear: clear, WindowSec: window, CooldownSec: cooldown,
+	}
+}
+
+func TestAlertRaiseAndHysteresisClear(t *testing.T) {
+	e, err := NewAlertEngine([]Rule{utilRule(50, 20, 1, 0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewWindow(10)
+
+	feedSecond(w, e, 0, 10) // below raise
+	if st := e.Status()[0]; st.Active {
+		t.Fatal("raised below threshold")
+	}
+	feedSecond(w, e, 1, 60) // crosses raise
+	if st := e.Status()[0]; !st.Active || st.Since != 1 {
+		t.Fatalf("not raised at 60%%: %+v", st)
+	}
+	// 30% is under the raise threshold but above clear: hysteresis
+	// holds the alert.
+	feedSecond(w, e, 2, 30)
+	if st := e.Status()[0]; !st.Active {
+		t.Fatal("hysteresis band did not hold the alert")
+	}
+	feedSecond(w, e, 3, 10) // below clear
+	if st := e.Status()[0]; st.Active {
+		t.Fatal("did not clear below the clear threshold")
+	}
+
+	h := e.History()
+	if len(h) != 2 || h[0].State != StateRaised || h[1].State != StateCleared {
+		t.Fatalf("history %+v, want raise then clear", h)
+	}
+	if h[0].Second != 1 || h[1].Second != 3 {
+		t.Fatalf("transition seconds %d,%d, want 1,3", h[0].Second, h[1].Second)
+	}
+}
+
+func TestAlertCooldown(t *testing.T) {
+	e, err := NewAlertEngine([]Rule{utilRule(50, 20, 1, 3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewWindow(10)
+	feedSecond(w, e, 0, 60) // raise
+	feedSecond(w, e, 1, 5)  // clear at second 1
+	feedSecond(w, e, 2, 60) // within cooldown: suppressed
+	if st := e.Status()[0]; st.Active {
+		t.Fatal("re-raised inside the cooldown")
+	}
+	feedSecond(w, e, 3, 5)
+	feedSecond(w, e, 4, 60) // cooldown (1+3) expired
+	if st := e.Status()[0]; !st.Active {
+		t.Fatal("cooldown expiry did not allow the re-raise")
+	}
+}
+
+func TestAlertLowWatermarkOp(t *testing.T) {
+	// "<=" alerts on low values: goodput collapsing under congestion.
+	e, err := NewAlertEngine([]Rule{{
+		Name: "goodput-low", Metric: "goodput_mbps", Op: "<=",
+		Raise: 0.001, Clear: 0.002, WindowSec: 1,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewWindow(10)
+	// Empty second: goodput 0 <= raise → alert.
+	feedSecond(w, e, 0, 0)
+	if st := e.Status()[0]; !st.Active {
+		t.Fatal("low-watermark rule did not raise on zero goodput")
+	}
+}
+
+func TestAlertRuleValidation(t *testing.T) {
+	bad := []Rule{
+		{Name: "", Metric: "utilization_pct", Op: ">=", Raise: 1, Clear: 0},
+		{Name: "x", Metric: "nope", Op: ">=", Raise: 1, Clear: 0},
+		{Name: "x", Metric: "utilization_pct", Op: "==", Raise: 1, Clear: 0},
+		// Inverted hysteresis: clear above raise for >=.
+		{Name: "x", Metric: "utilization_pct", Op: ">=", Raise: 10, Clear: 20},
+		// Inverted for <=.
+		{Name: "x", Metric: "goodput_mbps", Op: "<=", Raise: 20, Clear: 10},
+		{Name: "x", Metric: "utilization_pct", Op: ">=", Raise: 1, Clear: 0, WindowSec: -1},
+	}
+	for i, r := range bad {
+		if err := r.Validate(); err == nil {
+			t.Errorf("rule %d validated: %+v", i, r)
+		}
+	}
+	if _, err := NewAlertEngine([]Rule{utilRule(50, 20, 1, 0), utilRule(60, 30, 1, 0)}); err == nil ||
+		!strings.Contains(err.Error(), "duplicate") {
+		t.Fatalf("duplicate rule names accepted: %v", err)
+	}
+}
+
+func TestAlertOutOfOrderSecondsIdempotent(t *testing.T) {
+	e, err := NewAlertEngine([]Rule{utilRule(50, 20, 1, 0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewWindow(10)
+	feedSecond(w, e, 0, 60)
+	// A lagging channel shard re-evaluates an older second: no
+	// duplicate transition.
+	e.Evaluate(w, 0)
+	if h := e.History(); len(h) != 1 {
+		t.Fatalf("%d events after duplicate evaluation, want 1", len(h))
+	}
+}

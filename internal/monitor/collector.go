@@ -1,0 +1,37 @@
+package monitor
+
+import (
+	"wlan80211/internal/analysis"
+)
+
+// collector is the per-channel-shard analysis.Metric that taps the
+// decoder's annotated event stream into the session's shared Window
+// and alert engine. One collector is created per channel shard via
+// analysis.Options.Extra; the Window serializes cross-shard access.
+type collector struct {
+	win    *Window
+	alerts *AlertEngine
+}
+
+// newCollectorFactory returns the Options.Extra factory wiring every
+// shard of a session's analyzer to one shared window and alert
+// engine. alerts may be nil (no rules configured).
+func newCollectorFactory(win *Window, alerts *AlertEngine) analysis.Factory {
+	return func() analysis.Metric { return &collector{win: win, alerts: alerts} }
+}
+
+func (c *collector) OnFrame(ev *analysis.FrameEvent) {
+	c.win.Observe(ev)
+}
+
+// OnSecond fires when the shard's decoder clock closes sec. The
+// window materializes the second and the alert engine evaluates its
+// rules against the freshly closed state.
+func (c *collector) OnSecond(sec int64) {
+	c.win.CloseSecond(sec)
+	if c.alerts != nil {
+		c.alerts.Evaluate(c.win, sec)
+	}
+}
+
+func (c *collector) Finalize(res *analysis.Result) {}

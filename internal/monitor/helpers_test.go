@@ -1,0 +1,105 @@
+package monitor
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"wlan80211/internal/capture"
+	"wlan80211/internal/dot11"
+	"wlan80211/internal/phy"
+)
+
+var (
+	apAddr  = dot11.AddrFromUint64(0x01)
+	staAddr = dot11.AddrFromUint64(0x02)
+)
+
+// rec wraps a frame into a capture record on ch.
+func rec(t phy.Micros, f dot11.Frame, r phy.Rate, ch phy.Channel) capture.Record {
+	return capture.Record{
+		Time: t, Rate: r, Channel: ch,
+		SignalDBm: -50, NoiseDBm: -95,
+		OrigLen: f.WireLen(), Frame: f.AppendTo(nil),
+	}
+}
+
+// dataAck appends a DATA(+ACK) exchange starting at t and returns the
+// time just after the ACK.
+func dataAck(recs []capture.Record, t phy.Micros, size int, r phy.Rate, seq uint16, retry bool) ([]capture.Record, phy.Micros) {
+	d := dot11.NewData(apAddr, staAddr, apAddr, seq, make([]byte, size))
+	d.FC.ToDS = true
+	d.FC.Retry = retry
+	recs = append(recs, rec(t, d, r, phy.Channel1))
+	end := t + phy.Airtime(d.WireLen(), r)
+	recs = append(recs, rec(end+phy.SIFS, dot11.NewACK(staAddr), phy.Rate1Mbps, phy.Channel1))
+	return recs, end + phy.SIFS + phy.Airtime(14, phy.Rate1Mbps)
+}
+
+func beaconRec(t phy.Micros, ch phy.Channel) capture.Record {
+	return rec(t, dot11.NewBeacon(apAddr, "net", uint8(ch), uint64(t), 1), phy.Rate1Mbps, ch)
+}
+
+// busyQuietTrace builds busySecs seconds of saturated DATA/ACK chains
+// followed by quietSecs of beacon-only air — utilization high then
+// near zero, the shape the alert tests need to raise and clear.
+func busyQuietTrace(busySecs, quietSecs int) []capture.Record {
+	var recs []capture.Record
+	var seq uint16
+	for sec := 0; sec < busySecs; sec++ {
+		t := phy.Micros(sec) * phy.MicrosPerSecond
+		limit := t + phy.MicrosPerSecond - 20_000
+		for t < limit {
+			recs, t = dataAck(recs, t, 1400, phy.Rate11Mbps, seq, seq%8 == 3)
+			t += phy.DIFS
+			seq++
+		}
+	}
+	for sec := busySecs; sec < busySecs+quietSecs; sec++ {
+		t := phy.Micros(sec) * phy.MicrosPerSecond
+		for i := 0; i < 5; i++ {
+			recs = append(recs, beaconRec(t+phy.Micros(i)*100_000, phy.Channel1))
+		}
+	}
+	// A trailing beacon closes the final quiet second so windowed
+	// metrics can observe it.
+	recs = append(recs, beaconRec(phy.Micros(busySecs+quietSecs)*phy.MicrosPerSecond+1000, phy.Channel1))
+	return recs
+}
+
+// writePcap materializes records as a radiotap pcap in t's temp dir.
+func writePcap(t *testing.T, recs []capture.Record) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "trace.pcap")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatalf("creating pcap: %v", err)
+	}
+	w, err := capture.NewWriter(f, 0)
+	if err != nil {
+		t.Fatalf("pcap writer: %v", err)
+	}
+	for _, r := range recs {
+		if err := w.Write(r); err != nil {
+			t.Fatalf("writing record: %v", err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatalf("flushing pcap: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("closing pcap: %v", err)
+	}
+	return path
+}
+
+// waitDone waits for a session pump to settle.
+func waitDone(t *testing.T, s *Session) {
+	t.Helper()
+	select {
+	case <-s.Done():
+	case <-time.After(30 * time.Second):
+		t.Fatalf("session %s did not finish", s.ID)
+	}
+}

@@ -1,0 +1,163 @@
+package monitor
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ErrMaxSessions is returned when creating a session would exceed the
+// manager's cap (the API maps it to 429).
+var ErrMaxSessions = errors.New("monitor: session limit reached")
+
+// ErrNotFound is returned for an unknown session ID (mapped to 404).
+var ErrNotFound = errors.New("monitor: no such session")
+
+// DefaultMaxSessions caps concurrent sessions when the daemon's flag
+// does not.
+const DefaultMaxSessions = 8
+
+// Manager owns the daemon's sessions: creation behind the cap,
+// lookup, stop/delete, and the SIGTERM drain. Finished sessions stay
+// listed (their windows and alert history remain queryable) and count
+// toward the cap until deleted.
+type Manager struct {
+	ctx context.Context
+	max int
+
+	mu       sync.Mutex
+	sessions map[string]*Session
+	order    []string // creation order, for stable listings
+	nextID   int
+	closed   bool
+
+	// defWindow, when set, is applied to configs that leave WindowSec
+	// zero (the daemon's -window flag).
+	defWindow int
+}
+
+// NewManager builds a manager whose sessions live within ctx; maxSessions
+// <= 0 selects DefaultMaxSessions.
+func NewManager(ctx context.Context, maxSessions int) *Manager {
+	if maxSessions <= 0 {
+		maxSessions = DefaultMaxSessions
+	}
+	return &Manager{ctx: ctx, max: maxSessions, sessions: make(map[string]*Session)}
+}
+
+// Max reports the session cap.
+func (m *Manager) Max() int { return m.max }
+
+// SetDefaultWindow sets the history depth applied to sessions that do
+// not choose their own. Call before serving requests.
+func (m *Manager) SetDefaultWindow(sec int) {
+	if sec > 0 {
+		m.defWindow = sec
+	}
+}
+
+// Create validates cfg, starts the session, and registers it.
+func (m *Manager) Create(cfg Config) (*Session, error) {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil, errors.New("monitor: manager shut down")
+	}
+	if len(m.sessions) >= m.max {
+		m.mu.Unlock()
+		return nil, fmt.Errorf("%w (%d active, max %d; delete one first)", ErrMaxSessions, len(m.sessions), m.max)
+	}
+	m.nextID++
+	id := fmt.Sprintf("s%d", m.nextID)
+	if cfg.WindowSec == 0 {
+		cfg.WindowSec = m.defWindow
+	}
+	m.mu.Unlock()
+
+	// Session construction (scenario build, pcap stat) runs outside
+	// the lock; re-check the cap when registering.
+	s, err := newSession(m.ctx, id, cfg)
+	if err != nil {
+		return nil, err
+	}
+	m.mu.Lock()
+	if m.closed || len(m.sessions) >= m.max {
+		closed := m.closed
+		m.mu.Unlock()
+		s.Stop()
+		if closed {
+			return nil, errors.New("monitor: manager shut down")
+		}
+		return nil, fmt.Errorf("%w (%d active, max %d; delete one first)", ErrMaxSessions, len(m.sessions), m.max)
+	}
+	m.sessions[id] = s
+	m.order = append(m.order, id)
+	m.mu.Unlock()
+	return s, nil
+}
+
+// Get returns the session or ErrNotFound.
+func (m *Manager) Get(id string) (*Session, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s, ok := m.sessions[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	return s, nil
+}
+
+// List returns sessions in creation order.
+func (m *Manager) List() []*Session {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]*Session, 0, len(m.sessions))
+	for _, id := range m.order {
+		if s, ok := m.sessions[id]; ok {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Delete stops the session (draining its pipeline) and removes it.
+func (m *Manager) Delete(id string) error {
+	m.mu.Lock()
+	s, ok := m.sessions[id]
+	if !ok {
+		m.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	delete(m.sessions, id)
+	for i, oid := range m.order {
+		if oid == id {
+			m.order = append(m.order[:i], m.order[i+1:]...)
+			break
+		}
+	}
+	m.mu.Unlock()
+	s.Stop()
+	return nil
+}
+
+// Close stops every session and rejects further creation — the
+// graceful-drain path for SIGTERM. Blocks until all pumps settle.
+func (m *Manager) Close() {
+	m.mu.Lock()
+	m.closed = true
+	sessions := make([]*Session, 0, len(m.sessions))
+	for _, s := range m.sessions {
+		sessions = append(sessions, s)
+	}
+	m.mu.Unlock()
+	var wg sync.WaitGroup
+	for _, s := range sessions {
+		wg.Add(1)
+		go func(s *Session) {
+			defer wg.Done()
+			s.Stop()
+		}(s)
+	}
+	wg.Wait()
+}

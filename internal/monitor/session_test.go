@@ -1,0 +1,225 @@
+package monitor
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"wlan80211/internal/capture"
+	"wlan80211/internal/phy"
+)
+
+func TestPcapSessionReplayToDone(t *testing.T) {
+	recs := busyQuietTrace(3, 3)
+	path := writePcap(t, recs)
+	s, err := newSession(context.Background(), "s1", Config{
+		Source: SourceConfig{Type: SourcePcap, Path: path},
+		Alerts: []Rule{{
+			Name: "congested", Metric: "utilization_pct", Op: ">=",
+			Raise: 20, Clear: 5, WindowSec: 2,
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, s)
+
+	v := s.View()
+	if v.State != StateDone {
+		t.Fatalf("state %q (err %q), want done", v.State, v.Error)
+	}
+	if v.Accepted != int64(len(recs)) || v.Dropped != 0 || v.Rejected != 0 {
+		t.Fatalf("accepted/dropped/rejected = %d/%d/%d, want %d/0/0",
+			v.Accepted, v.Dropped, v.Rejected, len(recs))
+	}
+	if v.Frames != int64(len(recs)) || v.ParseErrors != 0 {
+		t.Fatalf("analyzer saw %d frames (%d parse errors), want %d", v.Frames, v.ParseErrors, len(recs))
+	}
+
+	// The full-history window covers busy and quiet phases.
+	m := s.Metrics(s.win.Capacity())
+	if m.Frames != int64(len(recs)) {
+		t.Fatalf("windowed frames = %d, want %d", m.Frames, len(recs))
+	}
+	// Busy seconds saturate well past the alert threshold, so the
+	// trace must have raised and then cleared the alert.
+	h := s.Alerts().History()
+	if len(h) < 2 || h[0].State != StateRaised || h[len(h)-1].State != StateCleared {
+		t.Fatalf("alert history %+v, want raise then clear", h)
+	}
+}
+
+func TestPcapSessionPacedReplay(t *testing.T) {
+	// A 100ms trace replayed at 10x finishes quickly but still paces:
+	// two beacons 100ms apart arrive ≥10ms apart on the wall clock.
+	path := writePcap(t, []capture.Record{
+		beaconRec(0, phy.Channel1),
+		beaconRec(100_000, phy.Channel1),
+	})
+	start := time.Now()
+	s, err := newSession(context.Background(), "s1", Config{
+		Source: SourceConfig{Type: SourcePcap, Path: path, Speed: 10},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, s)
+	if elapsed := time.Since(start); elapsed < 9*time.Millisecond {
+		t.Fatalf("10x replay of a 100ms trace took %v, want >=10ms (pacing)", elapsed)
+	}
+	if v := s.View(); v.State != StateDone || v.Accepted != 2 {
+		t.Fatalf("paced replay: %+v", v)
+	}
+}
+
+func TestScenarioSessionStop(t *testing.T) {
+	s, err := newSession(context.Background(), "s1", Config{
+		Source: SourceConfig{Type: SourceScenario, Scenario: "day", Seed: 1, Scale: 0.05},
+		// A tiny queue forces the source to block so Stop interrupts
+		// it mid-stream rather than after a complete run.
+		QueueSize: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Let some frames flow, then stop.
+	deadline := time.Now().Add(10 * time.Second)
+	for s.View().Frames == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("no frames flowed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	s.Stop()
+	if v := s.View(); v.State != StateStopped {
+		t.Fatalf("state %q after Stop, want stopped", v.State)
+	}
+	// Stop is idempotent.
+	s.Stop()
+}
+
+func TestScenarioSessionRunsToDone(t *testing.T) {
+	s, err := newSession(context.Background(), "s1", Config{
+		Source: SourceConfig{Type: SourceScenario, Scenario: "day", Seed: 1, Scale: 0.02},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, s)
+	v := s.View()
+	if v.State != StateDone || v.Frames == 0 {
+		t.Fatalf("scenario run: state=%q frames=%d, want done with frames", v.State, v.Frames)
+	}
+	if m := s.Metrics(s.win.Capacity()); m.Seconds == 0 || m.UtilizationPct <= 0 {
+		t.Fatalf("scenario metrics empty: %+v", m)
+	}
+}
+
+func TestPushSessionIngest(t *testing.T) {
+	s, err := newSession(context.Background(), "s1", Config{
+		Source: SourceConfig{Type: SourcePush},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := busyQuietTrace(2, 1)
+	bad := beaconRec(0, phy.Channel1)
+	bad.OrigLen = 0 // fails validation
+	accepted, dropped, rejected, err := s.Ingest(append(recs, bad))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if accepted != len(recs) || dropped != 0 || rejected != 1 {
+		t.Fatalf("ingest = %d/%d/%d, want %d/0/1", accepted, dropped, rejected, len(recs))
+	}
+	// The pump keeps the trailing reorder horizon buffered until the
+	// stream ends, so live progress may lag slightly behind accepted.
+	deadline := time.Now().Add(10 * time.Second)
+	for s.View().Frames < int64(len(recs))-64 {
+		if time.Now().After(deadline) {
+			t.Fatalf("pump drained %d of %d", s.View().Frames, len(recs))
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Stop closes the queue, flushing the held horizon: every
+	// accepted frame must reach the analyzer.
+	s.Stop()
+	v := s.View()
+	if v.State != StateStopped {
+		t.Fatalf("state %q, want stopped", v.State)
+	}
+	if v.Frames != int64(len(recs)) {
+		t.Fatalf("analyzer saw %d of %d frames after Stop", v.Frames, len(recs))
+	}
+	if _, _, _, err := s.Ingest(recs); err == nil {
+		t.Fatal("ingest after stop succeeded")
+	}
+}
+
+func TestSessionConfigValidation(t *testing.T) {
+	bad := []Config{
+		{Source: SourceConfig{Type: "tape"}},
+		{Source: SourceConfig{Type: SourceScenario, Scenario: "nope"}},
+		{Source: SourceConfig{Type: SourcePcap, Path: ""}},
+		{Source: SourceConfig{Type: SourcePcap, Path: "/nonexistent/x.pcap"}},
+		{Source: SourceConfig{Type: SourcePush}, WindowSec: -1},
+		{Source: SourceConfig{Type: SourcePush}, Alerts: []Rule{{Name: "x", Metric: "nope", Op: ">="}}},
+	}
+	for i, cfg := range bad {
+		if _, err := newSession(context.Background(), "s1", cfg); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+func TestPcapSessionBadFile(t *testing.T) {
+	path := writePcap(t, nil) // valid but empty pcap is fine…
+	s, err := newSession(context.Background(), "s1", Config{
+		Source: SourceConfig{Type: SourcePcap, Path: path},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, s)
+	if v := s.View(); v.State != StateDone || v.Frames != 0 {
+		t.Fatalf("empty pcap: %+v, want done/0 frames", v)
+	}
+}
+
+func TestManagerLifecycle(t *testing.T) {
+	m := NewManager(context.Background(), 2)
+	s1, err := m.Create(Config{Source: SourceConfig{Type: SourcePush}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Create(Config{Source: SourceConfig{Type: SourcePush}}); err != nil {
+		t.Fatal(err)
+	}
+	// At the cap: third create is rejected with ErrMaxSessions.
+	if _, err := m.Create(Config{Source: SourceConfig{Type: SourcePush}}); !errors.Is(err, ErrMaxSessions) {
+		t.Fatalf("over-cap create: %v, want ErrMaxSessions", err)
+	}
+	if got := len(m.List()); got != 2 {
+		t.Fatalf("%d sessions listed, want 2", got)
+	}
+	if err := m.Delete(s1.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Get(s1.ID); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("deleted session still found: %v", err)
+	}
+	// Freed capacity admits a new session.
+	if _, err := m.Create(Config{Source: SourceConfig{Type: SourcePush}}); err != nil {
+		t.Fatal(err)
+	}
+	m.Close()
+	for _, s := range m.List() {
+		if v := s.View(); v.State == StateRunning {
+			t.Fatalf("session %s still running after Close", s.ID)
+		}
+	}
+	if _, err := m.Create(Config{Source: SourceConfig{Type: SourcePush}}); err == nil {
+		t.Fatal("create after Close succeeded")
+	}
+}

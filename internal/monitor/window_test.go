@@ -1,0 +1,143 @@
+package monitor
+
+import (
+	"testing"
+
+	"wlan80211/internal/analysis"
+	"wlan80211/internal/capture"
+	"wlan80211/internal/phy"
+)
+
+// ev builds a synthetic annotated event charged to second sec with a
+// given busy-time share and wire size.
+func ev(sec int64, kind analysis.Kind, cbt phy.Micros, wire int, ch phy.Channel) *analysis.FrameEvent {
+	return &analysis.FrameEvent{
+		Rec:         capture.Record{Channel: ch, OrigLen: wire},
+		Kind:        kind,
+		Second:      sec,
+		CBT:         cbt,
+		GoodputBits: int64(wire) * 8,
+	}
+}
+
+func TestWindowClosedSecondsOnly(t *testing.T) {
+	w := NewWindow(10)
+	w.Observe(ev(0, analysis.KindData, 1000, 100, phy.Channel1))
+	// Second 0 is still open: nothing closed, nothing reported.
+	if m := w.Metrics(5); m.Seconds != 0 || m.Frames != 0 {
+		t.Fatalf("open second leaked into metrics: %+v", m)
+	}
+	w.CloseSecond(0)
+	m := w.Metrics(5)
+	if m.Seconds != 1 || m.Frames != 1 || m.FromSecond != 0 || m.ToSecond != 0 {
+		t.Fatalf("after close: %+v, want 1 second / 1 frame", m)
+	}
+}
+
+func TestWindowUtilizationAndRates(t *testing.T) {
+	w := NewWindow(10)
+	// Two seconds, each 40% busy: 400ms CBT per second on one channel.
+	for sec := int64(0); sec < 2; sec++ {
+		w.Observe(ev(sec, analysis.KindData, 400_000, 1000, phy.Channel1))
+		w.CloseSecond(sec)
+	}
+	m := w.Metrics(2)
+	if m.Seconds != 2 {
+		t.Fatalf("seconds = %d, want 2", m.Seconds)
+	}
+	if m.UtilizationPct < 39.9 || m.UtilizationPct > 40.1 {
+		t.Fatalf("utilization = %.2f%%, want 40%%", m.UtilizationPct)
+	}
+	// 1000 bytes per second = 8 kbit/s.
+	if m.ThroughputMbps < 0.0079 || m.ThroughputMbps > 0.0081 {
+		t.Fatalf("throughput = %f Mb/s, want 0.008", m.ThroughputMbps)
+	}
+	if m.Channels != 1 {
+		t.Fatalf("channels = %d, want 1", m.Channels)
+	}
+	if m.Congestion != analysis.PaperClassifier().Classify(40).String() {
+		t.Fatalf("congestion = %q", m.Congestion)
+	}
+}
+
+func TestWindowMultiChannelNormalization(t *testing.T) {
+	w := NewWindow(10)
+	// One second, 400ms busy on each of two channels: per-channel
+	// utilization is 40%, not 80%.
+	w.Observe(ev(0, analysis.KindData, 400_000, 1000, phy.Channel1))
+	w.Observe(ev(0, analysis.KindData, 400_000, 1000, phy.Channel6))
+	w.CloseSecond(0)
+	m := w.Metrics(1)
+	if m.Channels != 2 {
+		t.Fatalf("channels = %d, want 2", m.Channels)
+	}
+	if m.UtilizationPct < 39.9 || m.UtilizationPct > 40.1 {
+		t.Fatalf("utilization = %.2f%%, want 40%% per channel", m.UtilizationPct)
+	}
+}
+
+func TestWindowGapSecondsAreZero(t *testing.T) {
+	w := NewWindow(10)
+	w.Observe(ev(0, analysis.KindData, 500_000, 1000, phy.Channel1))
+	w.CloseSecond(0)
+	// The air goes idle for 4 seconds; the decoder clock still closes
+	// them.
+	w.CloseSecond(4)
+	m := w.Metrics(5)
+	if m.Seconds != 5 {
+		t.Fatalf("seconds = %d, want 5 (gaps materialized)", m.Seconds)
+	}
+	if m.UtilizationPct < 9.9 || m.UtilizationPct > 10.1 {
+		t.Fatalf("utilization = %.2f%%, want 10%% (50%% averaged over 5s)", m.UtilizationPct)
+	}
+}
+
+func TestWindowRingWrap(t *testing.T) {
+	w := NewWindow(4)
+	for sec := int64(0); sec < 10; sec++ {
+		w.Observe(ev(sec, analysis.KindData, phy.Micros(sec)*1000, 100, phy.Channel1))
+		w.CloseSecond(sec)
+	}
+	// Requesting more than capacity clamps to the ring.
+	m := w.Metrics(100)
+	if m.WindowSec != 4 || m.Seconds != 4 {
+		t.Fatalf("window=%d seconds=%d, want 4/4 after wrap", m.WindowSec, m.Seconds)
+	}
+	if m.FromSecond != 6 || m.ToSecond != 9 {
+		t.Fatalf("covered [%d,%d], want [6,9]", m.FromSecond, m.ToSecond)
+	}
+	s := w.Series(100)
+	if len(s) != 4 || s[0].Second != 6 || s[3].Second != 9 {
+		t.Fatalf("series %v, want seconds 6..9", s)
+	}
+}
+
+func TestWindowRetryRate(t *testing.T) {
+	w := NewWindow(10)
+	// Retry detection needs the parsed frame; drive it through a real
+	// analyzer with the collector attached instead of synthesizing.
+	win := w
+	a, err := analysis.New(analysis.Options{
+		Metrics: []string{"util"},
+		Extra:   []analysis.Factory{newCollectorFactory(win, nil)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var recs []capture.Record
+	t0 := phy.Micros(0)
+	for i := 0; i < 8; i++ {
+		recs, t0 = dataAck(recs, t0, 200, phy.Rate11Mbps, uint16(i), i%4 == 0)
+		t0 += phy.DIFS
+	}
+	recs = append(recs, beaconRec(2*phy.MicrosPerSecond, phy.Channel1))
+	for _, r := range recs {
+		a.Feed(r)
+	}
+	a.Result()
+	m := win.Metrics(10)
+	// 8 data frames, 2 retries: 25%.
+	if m.RetryRatePct < 24.9 || m.RetryRatePct > 25.1 {
+		t.Fatalf("retry rate = %.2f%%, want 25%%", m.RetryRatePct)
+	}
+}
