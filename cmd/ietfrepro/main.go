@@ -42,6 +42,7 @@ func main() {
 		workers = flag.Int("workers", 0, "concurrent scenario runs (0 = GOMAXPROCS)")
 		sweep   = flag.Int("sweep", 0, "run the day/plenary/ladder matrix over N seeds and print mean±stddev aggregates instead of figures")
 		grid    = flag.Bool("grid", false, "include the multi-cell grid scenarios in the -sweep matrix (implies -sweep 1 when unset)")
+		jsonOut = flag.String("json", "", "also write the run summaries (or -sweep aggregates) as JSON to this path, atomically")
 	)
 	flag.Parse()
 
@@ -54,7 +55,7 @@ func main() {
 		*sweep = 1
 	}
 	if *sweep > 0 {
-		runMatrix(*sweep, *scale, *workers, *grid)
+		runMatrix(*sweep, *scale, *workers, *grid, *jsonOut)
 		return
 	}
 
@@ -95,6 +96,12 @@ func main() {
 	for _, res := range results {
 		if res.Err != nil {
 			fmt.Fprintf(os.Stderr, "ietfrepro: %s: %v\n", res.Spec.Name, res.Err)
+			os.Exit(1)
+		}
+	}
+	if *jsonOut != "" {
+		if err := writeSummariesJSON(*jsonOut, *scale, results); err != nil {
+			fmt.Fprintln(os.Stderr, "ietfrepro:", err)
 			os.Exit(1)
 		}
 	}
@@ -157,7 +164,25 @@ func main() {
 // at the given scale (plus the grid scenarios with -grid), aggregated
 // to mean±stddev per scenario — a robustness check that the headline
 // numbers are not one-seed flukes.
-func runMatrix(nSeeds int, scale float64, workers int, grid bool) {
+// writeSummariesJSON archives the figure-mode run summaries as JSON,
+// via temp-file+rename so an interrupt never leaves a torn report.
+func writeSummariesJSON(path string, scale float64, results []experiment.RunResult) error {
+	type row struct {
+		Scenario string             `json:"scenario"`
+		Scale    float64            `json:"scale"`
+		Summary  experiment.Summary `json:"summary"`
+	}
+	doc := struct {
+		Scale float64 `json:"scale"`
+		Runs  []row   `json:"runs"`
+	}{Scale: scale}
+	for _, res := range results {
+		doc.Runs = append(doc.Runs, row{Scenario: res.Spec.Name, Scale: res.Spec.Scale, Summary: res.Summary})
+	}
+	return experiment.WriteJSONAtomic(path, doc)
+}
+
+func runMatrix(nSeeds int, scale float64, workers int, grid bool, jsonOut string) {
 	m := experiment.Matrix{
 		Scenarios: []string{"day", "plenary", "ladder"},
 		Scales:    []float64{scale},
@@ -196,7 +221,20 @@ func runMatrix(nSeeds int, scale float64, workers int, grid bool) {
 			canceled, len(results), len(results)-canceled)
 		title = fmt.Sprintf("Repro matrix (%d of %d runs; interrupted)", len(results)-canceled, len(results))
 	}
-	experiment.AggregateTable(title, experiment.Aggregate(results)).WriteTo(os.Stdout)
+	aggs := experiment.Aggregate(results)
+	experiment.AggregateTable(title, aggs).WriteTo(os.Stdout)
+	if jsonOut != "" {
+		doc := struct {
+			Scenarios  []string                `json:"scenarios"`
+			Seeds      []int64                 `json:"seeds"`
+			Scales     []float64               `json:"scales"`
+			Aggregates []experiment.Aggregated `json:"aggregates"`
+		}{m.Scenarios, m.Seeds, m.Scales, aggs}
+		if err := experiment.WriteJSONAtomic(jsonOut, doc); err != nil {
+			fmt.Fprintln(os.Stderr, "ietfrepro:", err)
+			os.Exit(1)
+		}
+	}
 	if failed > 0 {
 		os.Exit(1)
 	}

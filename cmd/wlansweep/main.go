@@ -17,6 +17,13 @@
 //	wlansweep -seeds 62,63,64,65 -scales 0.5 -workers 4
 //	wlansweep -runs 8 -json matrix.json               # 8 seeds per cell + JSON archive
 //	wlansweep -list                                   # registered scenarios
+//
+// Crash-resumable campaigns journal every completed run and snapshot
+// in-flight runs, so a killed sweep resumes bit-identically:
+//
+//	wlansweep -campaign DIR -checkpoint 5             # journal + snapshot every 5 sim-s
+//	wlansweep -resume DIR                             # skip finished runs, replay-verify
+//	                                                  # interrupted ones, same aggregates
 package main
 
 import (
@@ -32,6 +39,7 @@ import (
 	"syscall"
 
 	"wlan80211/internal/experiment"
+	"wlan80211/internal/phy"
 )
 
 // jsonReport is the -json document: the expanded matrix, one row per
@@ -65,6 +73,9 @@ func main() {
 		metrics   = flag.String("metrics", "", "comma-separated analysis stages (default: all)")
 		jsonOut   = flag.String("json", "", "also write the full report as JSON to this path (- = stdout)")
 		reduce    = flag.Bool("reduce", false, "reduce as you go: retain only aggregate rows, not per-run results (for very large matrices; -json omits runs)")
+		campaign  = flag.String("campaign", "", "run as a crash-resumable campaign in this directory (journal + snapshots)")
+		resume    = flag.String("resume", "", "resume the campaign in this directory (matrix flags ignored; campaign.json is authoritative)")
+		checkp    = flag.Float64("checkpoint", 0, "with -campaign: mid-run snapshot interval in sim-seconds (0 = journal only)")
 		list      = flag.Bool("list", false, "list registered scenarios and exit")
 	)
 	flag.Parse()
@@ -99,6 +110,21 @@ func main() {
 	// sweep cut short keeps what it already paid for.
 	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stopSignals()
+
+	if *campaign != "" || *resume != "" {
+		if *campaign != "" && *resume != "" {
+			fatal(errors.New("-campaign and -resume are mutually exclusive"))
+		}
+		if *reduce {
+			fatal(errors.New("-reduce does not apply to campaigns (the journal already bounds memory)"))
+		}
+		runCampaignMode(ctx, *campaign, *resume, m, experiment.CampaignOptions{
+			Workers:    *workers,
+			Metrics:    splitList(*metrics),
+			Checkpoint: phy.Micros(*checkp * float64(phy.MicrosPerSecond)),
+		}, *jsonOut)
+		return
+	}
 
 	eng := &experiment.Engine{Workers: *workers, Metrics: splitList(*metrics)}
 	var results []experiment.RunResult
@@ -171,14 +197,15 @@ func main() {
 			}
 			doc.Runs = append(doc.Runs, jr)
 		}
-		enc, err := json.MarshalIndent(doc, "", "  ")
-		if err != nil {
-			fatal(err)
-		}
-		enc = append(enc, '\n')
 		if *jsonOut == "-" {
-			os.Stdout.Write(enc)
-		} else if err := os.WriteFile(*jsonOut, enc, 0o644); err != nil {
+			enc, err := json.MarshalIndent(doc, "", "  ")
+			if err != nil {
+				fatal(err)
+			}
+			os.Stdout.Write(append(enc, '\n'))
+		} else if err := experiment.WriteJSONAtomic(*jsonOut, doc); err != nil {
+			// temp-file+rename: an interrupt mid-write can never leave a
+			// torn report where a previous good one stood.
 			fatal(err)
 		}
 	}
@@ -187,6 +214,66 @@ func main() {
 	}
 	if canceled > 0 {
 		os.Exit(130) // conventional interrupted-by-signal status
+	}
+}
+
+// runCampaignMode runs or resumes a crash-resumable campaign and
+// reports it. Exit statuses match the plain path: 130 when
+// interrupted (resume later with -resume), 2 on hard errors.
+func runCampaignMode(ctx context.Context, startDir, resumeDir string, m experiment.Matrix, opts experiment.CampaignOptions, jsonOut string) {
+	dir := startDir
+	var res *experiment.CampaignResult
+	var err error
+	if resumeDir != "" {
+		dir = resumeDir
+		res, err = experiment.ResumeCampaign(ctx, dir, opts)
+	} else {
+		res, err = experiment.RunCampaign(ctx, dir, m, opts)
+	}
+	interrupted := errors.Is(err, context.Canceled)
+	if err != nil && !interrupted {
+		fatal(err)
+	}
+
+	done := 0
+	for _, d := range res.Done {
+		if d {
+			done++
+		}
+	}
+	title := fmt.Sprintf("Campaign %s (%d runs", dir, len(res.Specs))
+	if res.FromJournal > 0 {
+		title += fmt.Sprintf(", %d from journal", res.FromJournal)
+	}
+	if res.Verified > 0 {
+		title += fmt.Sprintf(", %d snapshot-verified", res.Verified)
+	}
+	title += ")"
+	if interrupted {
+		title = fmt.Sprintf("Campaign %s (interrupted: %d of %d runs done; -resume %s to continue)", dir, done, len(res.Specs), dir)
+	}
+	if jsonOut != "-" {
+		experiment.AggregateTable(title, res.Aggregates).WriteTo(os.Stdout)
+	}
+
+	if jsonOut != "" {
+		man, merr := experiment.ReadManifest(dir)
+		if merr != nil {
+			fatal(merr)
+		}
+		doc := res.Report(man)
+		if jsonOut == "-" {
+			enc, jerr := json.MarshalIndent(doc, "", "  ")
+			if jerr != nil {
+				fatal(jerr)
+			}
+			os.Stdout.Write(append(enc, '\n'))
+		} else if werr := experiment.WriteJSONAtomic(jsonOut, doc); werr != nil {
+			fatal(werr)
+		}
+	}
+	if interrupted {
+		os.Exit(130)
 	}
 }
 

@@ -1,0 +1,64 @@
+// Package detrand wraps math/rand sources with a draw counter so a
+// deterministic simulation can serialize the position of its RNG
+// streams. The wrapper forwards both Int63 and Uint64 to the
+// underlying source, so the value sequence every consumer sees is
+// bit-identical to using the bare source — counting changes nothing
+// but the ability to say "this stream has advanced N steps".
+//
+// The counter is the stream's whole state: Go's built-in source
+// advances exactly one internal step per Int63 or Uint64 call, so a
+// stream at draw N is reconstructed by seeding a fresh source and
+// discarding N draws (FastForward). Snapshots therefore store just
+// (seed, draws) per stream.
+package detrand
+
+import "math/rand"
+
+// Source is a counting rand.Source64. Create with New; pass to
+// rand.New.
+type Source struct {
+	src   rand.Source64
+	seed  int64
+	draws uint64
+}
+
+// New returns a counting source seeded like rand.NewSource(seed).
+func New(seed int64) *Source {
+	return &Source{src: rand.NewSource(seed).(rand.Source64), seed: seed}
+}
+
+// Int63 implements rand.Source.
+func (s *Source) Int63() int64 {
+	s.draws++
+	return s.src.Int63()
+}
+
+// Uint64 implements rand.Source64.
+func (s *Source) Uint64() uint64 {
+	s.draws++
+	return s.src.Uint64()
+}
+
+// Seed implements rand.Source, resetting the draw count.
+func (s *Source) Seed(seed int64) {
+	s.src.Seed(seed)
+	s.seed = seed
+	s.draws = 0
+}
+
+// Seed0 returns the seed the source was created (or last re-seeded)
+// with.
+func (s *Source) Seed0() int64 { return s.seed }
+
+// Draws returns how many steps the stream has advanced.
+func (s *Source) Draws() uint64 { return s.draws }
+
+// FastForward advances the source by n draws, discarding the values.
+// A fresh New(seed) fast-forwarded by Draws() is state-identical to
+// the original stream.
+func (s *Source) FastForward(n uint64) {
+	for i := uint64(0); i < n; i++ {
+		s.src.Uint64()
+	}
+	s.draws += n
+}

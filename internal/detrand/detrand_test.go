@@ -1,0 +1,74 @@
+package detrand
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestStreamMatchesPlainSource: wrapping must not perturb the value
+// stream — rand.New over a counted source yields exactly the values
+// it yields over a bare rand.NewSource. (The golden traces depend on
+// this; it is why Uint64 forwards to the underlying Source64.)
+func TestStreamMatchesPlainSource(t *testing.T) {
+	a := rand.New(rand.NewSource(42))
+	b := rand.New(New(42))
+	for i := 0; i < 10_000; i++ {
+		if av, bv := a.Float64(), b.Float64(); av != bv {
+			t.Fatalf("draw %d: %v != %v", i, av, bv)
+		}
+		if av, bv := a.Intn(1000), b.Intn(1000); av != bv {
+			t.Fatalf("draw %d: Intn %d != %d", i, av, bv)
+		}
+		if av, bv := a.NormFloat64(), b.NormFloat64(); av != bv {
+			t.Fatalf("draw %d: NormFloat64 %v != %v", i, av, bv)
+		}
+	}
+}
+
+// TestFastForwardReproducesPosition: a fresh source fast-forwarded by
+// a running source's draw count continues with identical values — the
+// replay property snapshots rely on.
+func TestFastForwardReproducesPosition(t *testing.T) {
+	src := New(7)
+	r := rand.New(src)
+	for i := 0; i < 1234; i++ {
+		r.Float64()
+		if i%3 == 0 {
+			r.Intn(17)
+		}
+	}
+	n := src.Draws()
+	if n == 0 {
+		t.Fatal("no draws counted")
+	}
+
+	src2 := New(7)
+	src2.FastForward(n)
+	if src2.Draws() != n {
+		t.Fatalf("Draws after FastForward = %d, want %d", src2.Draws(), n)
+	}
+	r2 := rand.New(src2)
+	for i := 0; i < 1000; i++ {
+		if a, b := r.Uint64(), r2.Uint64(); a != b {
+			t.Fatalf("post-fast-forward draw %d: %d != %d", i, a, b)
+		}
+	}
+	if src.Draws() != src2.Draws() {
+		t.Fatalf("draw counts diverged: %d vs %d", src.Draws(), src2.Draws())
+	}
+}
+
+func TestSeedResetsCount(t *testing.T) {
+	src := New(1)
+	rand.New(src).Float64()
+	if src.Draws() == 0 {
+		t.Fatal("no draws counted")
+	}
+	src.Seed(9)
+	if src.Draws() != 0 {
+		t.Fatalf("Draws after Seed = %d, want 0", src.Draws())
+	}
+	if src.Seed0() != 9 {
+		t.Fatalf("Seed0 = %d, want 9", src.Seed0())
+	}
+}

@@ -1,0 +1,29 @@
+package detrand
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// The counted source adds one interface hop and a counter increment
+// per draw. These two benches bound that cost (~1-2 ns/draw); at the
+// simulator's ~70k draws per day-session run it is ~0.1 ms, noise
+// against the ~8 ms run.
+
+func BenchmarkPlainSource(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	var s float64
+	for i := 0; i < b.N; i++ {
+		s += r.Float64()
+	}
+	_ = s
+}
+
+func BenchmarkCountedSource(b *testing.B) {
+	r := rand.New(New(1))
+	var s float64
+	for i := 0; i < b.N; i++ {
+		s += r.Float64()
+	}
+	_ = s
+}

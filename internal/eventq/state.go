@@ -1,0 +1,164 @@
+package eventq
+
+import (
+	"fmt"
+
+	"wlan80211/internal/phy"
+)
+
+// This file exposes the queue's complete numeric state for the
+// snapshot subsystem. Callbacks are funcs and cannot be serialized;
+// SaveState records everything else (slab slots with their deferred
+// deadlines and FIFO ranks, the heap, the free list, the clock, and
+// the op counters) and RestoreState rebuilds a live queue from it,
+// asking the caller to rebind each pending slot's callback. A
+// deterministic caller that re-creates its callbacks in slot order
+// gets a queue that fires the exact event sequence of the original —
+// deferral stamps, free-list reuse order, and same-instant FIFO ranks
+// included.
+
+// SlotState is one slab entry minus its callback.
+type SlotState struct {
+	At       phy.Micros
+	Deadline phy.Micros
+	Seq      uint64
+	DeferSeq uint64
+	Pos      int32
+	Gen      uint32
+	State    uint8
+	HasFn    bool
+}
+
+// HeapEntryState is one heap entry.
+type HeapEntryState struct {
+	At  phy.Micros
+	Seq uint64
+	Idx int32
+}
+
+// QueueState is the queue's full serializable state.
+type QueueState struct {
+	Now       phy.Micros
+	Seq       uint64
+	Runs      uint64
+	Deferrals uint64
+	Scheds    uint64
+	Cancels   uint64
+	Slots     []SlotState
+	Heap      []HeapEntryState
+	Free      []int32
+}
+
+// SaveState captures the queue's complete state (except callbacks).
+func (q *Queue) SaveState() QueueState {
+	st := QueueState{
+		Now: q.now, Seq: q.seq, Runs: q.runs,
+		Deferrals: q.deferrals, Scheds: q.scheds, Cancels: q.cancels,
+		Slots: make([]SlotState, len(q.slots)),
+		Heap:  make([]HeapEntryState, len(q.heap)),
+		Free:  append([]int32(nil), q.free...),
+	}
+	for i := range q.slots {
+		s := &q.slots[i]
+		st.Slots[i] = SlotState{
+			At: s.at, Deadline: s.deadline, Seq: s.seq, DeferSeq: s.deferSeq,
+			Pos: s.pos, Gen: s.gen, State: s.state, HasFn: s.fn != nil,
+		}
+	}
+	for i, e := range q.heap {
+		st.Heap[i] = HeapEntryState{At: e.at, Seq: e.seq, Idx: e.idx}
+	}
+	return st
+}
+
+// RestoreState rebuilds a queue from a saved state. rebind is called
+// once per slot that held a callback (in slot order) and must return
+// the function to fire; the snapshot's consumer reconstructs its
+// callbacks deterministically and maps them back by slot index.
+// Structural invalidity — heap indexes out of range, slot/heap
+// position disagreement, a pending slot without a callback — returns
+// an error, never panics.
+func RestoreState(st QueueState, rebind func(slot int) func()) (*Queue, error) {
+	q := &Queue{
+		now: st.Now, seq: st.Seq, runs: st.Runs,
+		deferrals: st.Deferrals, scheds: st.Scheds, cancels: st.Cancels,
+		slots: make([]slot, len(st.Slots)),
+		heap:  make([]heapEntry, len(st.Heap)),
+		free:  append([]int32(nil), st.Free...),
+	}
+	for i, ss := range st.Slots {
+		if ss.State > stateCancelled {
+			return nil, fmt.Errorf("eventq: slot %d has unknown state %d", i, ss.State)
+		}
+		s := &q.slots[i]
+		s.at, s.deadline = ss.At, ss.Deadline
+		s.seq, s.deferSeq = ss.Seq, ss.DeferSeq
+		s.pos, s.gen, s.state = ss.Pos, ss.Gen, ss.State
+		if ss.HasFn {
+			if rebind == nil {
+				return nil, fmt.Errorf("eventq: slot %d needs a callback but rebind is nil", i)
+			}
+			if s.fn = rebind(i); s.fn == nil {
+				return nil, fmt.Errorf("eventq: rebind returned no callback for slot %d", i)
+			}
+		} else if ss.State == statePending {
+			return nil, fmt.Errorf("eventq: pending slot %d has no callback", i)
+		}
+	}
+	for i, e := range st.Heap {
+		if e.Idx < 0 || int(e.Idx) >= len(q.slots) {
+			return nil, fmt.Errorf("eventq: heap entry %d indexes slot %d of %d", i, e.Idx, len(q.slots))
+		}
+		s := &q.slots[e.Idx]
+		if s.state != statePending {
+			return nil, fmt.Errorf("eventq: heap entry %d points at non-pending slot %d", i, e.Idx)
+		}
+		if s.pos != int32(i) {
+			return nil, fmt.Errorf("eventq: heap entry %d disagrees with slot %d position %d", i, e.Idx, s.pos)
+		}
+		q.heap[i] = heapEntry{at: e.At, seq: e.Seq, idx: e.Idx}
+	}
+	// Every pending slot must be exactly one heap entry, and free-list
+	// entries must reference non-pending slots in range.
+	pending := 0
+	for i := range q.slots {
+		if q.slots[i].state == statePending {
+			pending++
+		}
+	}
+	if pending != len(q.heap) {
+		return nil, fmt.Errorf("eventq: %d pending slots but %d heap entries", pending, len(q.heap))
+	}
+	for _, f := range q.free {
+		if f < 0 || int(f) >= len(q.slots) {
+			return nil, fmt.Errorf("eventq: free-list entry %d out of range", f)
+		}
+		if q.slots[f].state == statePending {
+			return nil, fmt.Errorf("eventq: free-list entry %d is pending", f)
+		}
+	}
+	return q, nil
+}
+
+// Slot returns the slab index the handle points at, or -1 for the
+// zero Event. Together with When/Pending it lets snapshot consumers
+// record which queue slot a held handle refers to.
+func (e Event) Slot() int32 {
+	if e.q == nil {
+		return -1
+	}
+	return e.slot
+}
+
+// Handle reconstructs an Event handle for a restored slot, so callers
+// that held handles across a snapshot (the simulator's per-node
+// countdown and await events) can keep using Pending/When/Defer/
+// Cancel after a restore. The zero Event is returned for out-of-range
+// slots.
+func (q *Queue) Handle(slot int) Event {
+	if slot < 0 || slot >= len(q.slots) {
+		return Event{}
+	}
+	s := &q.slots[slot]
+	return Event{q: q, slot: int32(slot), gen: s.gen, at: s.at}
+}

@@ -1,0 +1,623 @@
+package experiment
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+
+	"wlan80211/internal/analysis"
+	"wlan80211/internal/experiment/faultinject"
+	"wlan80211/internal/phy"
+	"wlan80211/internal/snapshot"
+)
+
+// This file makes matrix sweeps crash-resumable. A campaign lives in
+// a directory:
+//
+//	campaign.json   — the matrix + options (atomic write; resume
+//	                  re-expands specs from it, never from flags)
+//	journal.jsonl   — one line per completed run, appended with
+//	                  O_APPEND in a single write; each line carries a
+//	                  CRC32 of its record, so a torn tail from a crash
+//	                  mid-append is detected and truncated on resume
+//	snapshots/run-N.snap — the latest mid-run snapshot of each
+//	                  in-flight run (temp-file+rename, see snapshot)
+//
+// Determinism contract: a campaign that crashes at ANY instant and is
+// resumed produces aggregates and per-run trace hashes bit-identical
+// to one that never crashed. Completed runs come back from the
+// journal (JSON round-trips int64 and float64 values exactly, and
+// folding happens in spec order either way); interrupted runs are
+// deterministically replayed, and their mid-run snapshot is verified
+// byte-for-byte against the replayed state at the same sim instant —
+// proving the snapshot witnessed the exact state the resumed run
+// passes through (event callbacks are closures, so state cannot be
+// deserialized directly; the snapshot is the proof of equivalence,
+// the replay is the reconstruction).
+
+const (
+	manifestName = "campaign.json"
+	journalName  = "journal.jsonl"
+	snapshotsDir = "snapshots"
+)
+
+// CampaignOptions configures a campaign run.
+type CampaignOptions struct {
+	// Workers bounds concurrent runs; <=0 means GOMAXPROCS. Forced to
+	// 1 when an Injector is armed, so crash instants are reproducible.
+	Workers int
+	// Metrics selects analysis stages by name (empty = all).
+	Metrics []string
+	// Checkpoint is the mid-run snapshot interval in sim time; 0
+	// disables mid-run snapshots (the journal alone still makes
+	// completed runs skippable).
+	Checkpoint phy.Micros
+	// Injector arms a deterministic crash point (tests and the CI
+	// kill-and-resume job).
+	Injector *faultinject.Injector
+}
+
+// Manifest is the persisted campaign identity (campaign.json).
+type Manifest struct {
+	Version          int      `json:"version"`
+	Matrix           Matrix   `json:"matrix"`
+	CheckpointMicros int64    `json:"checkpoint_micros"`
+	Metrics          []string `json:"metrics,omitempty"`
+}
+
+// RunRecord is one completed run as journaled.
+type RunRecord struct {
+	Index     int     `json:"index"`
+	Name      string  `json:"name"`
+	Seed      int64   `json:"seed"`
+	Scale     float64 `json:"scale"`
+	Summary   Summary `json:"summary"`
+	TraceHash string  `json:"trace_hash"`
+}
+
+// CampaignResult is a finished (or interrupted) campaign.
+type CampaignResult struct {
+	Specs      []Spec
+	Records    []RunRecord // spec order; zero-valued where incomplete
+	Done       []bool      // which Records are filled
+	Aggregates []Aggregated
+	// FromJournal counts runs skipped because the journal already had
+	// them; Verified counts interrupted runs whose snapshot was
+	// replay-verified on resume.
+	FromJournal int
+	Verified    int
+}
+
+// Report is the serializable campaign report (what wlansweep -json
+// writes and the CI kill-and-resume job diffs).
+func (r *CampaignResult) Report(man Manifest) CampaignReport {
+	rep := CampaignReport{
+		Scenarios:        man.Matrix.Scenarios,
+		Seeds:            man.Matrix.Seeds,
+		Scales:           man.Matrix.Scales,
+		CheckpointMicros: man.CheckpointMicros,
+		Aggregates:       r.Aggregates,
+	}
+	for i, rec := range r.Records {
+		if r.Done[i] {
+			rep.Runs = append(rep.Runs, rec)
+		}
+	}
+	return rep
+}
+
+// CampaignReport is the JSON report shape.
+type CampaignReport struct {
+	Scenarios        []string     `json:"scenarios"`
+	Seeds            []int64      `json:"seeds,omitempty"`
+	Scales           []float64    `json:"scales,omitempty"`
+	CheckpointMicros int64        `json:"checkpoint_micros"`
+	Runs             []RunRecord  `json:"runs"`
+	Aggregates       []Aggregated `json:"aggregates"`
+}
+
+// WriteJSONAtomic marshals v and writes it to path via
+// temp-file+rename, so an interrupt can never leave a torn report.
+func WriteJSONAtomic(path string, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	return snapshot.AtomicWriteFile(path, append(data, '\n'))
+}
+
+// journal is the append-only completion log.
+type journal struct {
+	mu sync.Mutex
+	f  *os.File
+}
+
+type journalLine struct {
+	CRC string          `json:"crc"`
+	Rec json.RawMessage `json:"rec"`
+}
+
+// openJournal reads an existing journal (verifying every record's
+// CRC), truncates a torn tail line if the last append was interrupted
+// mid-write, and opens the file for appending. Corruption anywhere
+// but the tail is a hard error — that is damage, not a crash artifact.
+func openJournal(path string) (*journal, []RunRecord, error) {
+	data, err := os.ReadFile(path)
+	if err != nil && !os.IsNotExist(err) {
+		return nil, nil, err
+	}
+	var recs []RunRecord
+	valid := 0 // byte length of the valid, newline-terminated prefix
+	for valid < len(data) {
+		nl := bytes.IndexByte(data[valid:], '\n')
+		if nl < 0 {
+			// Unterminated tail: the crash interrupted an append (even
+			// a fragment that happens to parse is not trustworthy
+			// without its terminator). Truncate and re-run that run.
+			break
+		}
+		rec, perr := parseJournalLine(data[valid : valid+nl])
+		if perr != nil {
+			// A damaged line at the tail is the torn-append artifact;
+			// anywhere else it is real corruption — fail loud.
+			if valid+nl+1 >= len(data) {
+				break
+			}
+			return nil, nil, fmt.Errorf("experiment: journal %s: corrupt record at offset %d (not at tail): %w", path, valid, perr)
+		}
+		recs = append(recs, rec)
+		valid += nl + 1
+	}
+	if valid < len(data) {
+		if err := os.Truncate(path, int64(valid)); err != nil {
+			return nil, nil, fmt.Errorf("experiment: journal %s: truncating torn tail: %w", path, err)
+		}
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &journal{f: f}, recs, nil
+}
+
+func parseJournalLine(line []byte) (RunRecord, error) {
+	var jl journalLine
+	if err := json.Unmarshal(line, &jl); err != nil {
+		return RunRecord{}, err
+	}
+	want := fmt.Sprintf("%08x", crc32.ChecksumIEEE(jl.Rec))
+	if jl.CRC != want {
+		return RunRecord{}, fmt.Errorf("crc %s != %s", jl.CRC, want)
+	}
+	var rec RunRecord
+	if err := json.Unmarshal(jl.Rec, &rec); err != nil {
+		return RunRecord{}, err
+	}
+	return rec, nil
+}
+
+// append journals one completed run: a single O_APPEND write of the
+// whole line, then fsync, so a crash leaves either nothing or the
+// complete record — and if the kernel tears the write (or the
+// injector simulates it), the CRC catches the fragment on resume.
+func (j *journal) append(rec RunRecord, inj *faultinject.Injector) error {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	line := fmt.Sprintf("{\"crc\":\"%08x\",\"rec\":%s}\n", crc32.ChecksumIEEE(payload), payload)
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if inj.JournalWrite(rec.Index) {
+		// Simulate the torn write: half the line reaches the disk,
+		// then the process dies.
+		if _, err := j.f.WriteString(line[:len(line)/2]); err != nil {
+			return err
+		}
+		j.f.Sync()
+		inj.CrashNow()
+	}
+	if _, err := j.f.WriteString(line); err != nil {
+		return err
+	}
+	return j.f.Sync()
+}
+
+func (j *journal) close() error { return j.f.Close() }
+
+// RunCampaign starts (or continues — the journal makes it idempotent)
+// a campaign in dir. The directory is created if needed; an existing
+// campaign.json must describe the same matrix and options.
+func RunCampaign(ctx context.Context, dir string, m Matrix, opts CampaignOptions) (*CampaignResult, error) {
+	man := Manifest{Version: 1, Matrix: m, CheckpointMicros: int64(opts.Checkpoint), Metrics: opts.Metrics}
+	if err := os.MkdirAll(filepath.Join(dir, snapshotsDir), 0o755); err != nil {
+		return nil, err
+	}
+	manPath := filepath.Join(dir, manifestName)
+	if prev, err := readManifest(manPath); err == nil {
+		a, _ := json.Marshal(man)
+		b, _ := json.Marshal(prev)
+		if !bytes.Equal(a, b) {
+			return nil, fmt.Errorf("experiment: %s already holds a different campaign (use -resume, or a fresh directory)", dir)
+		}
+	} else if !os.IsNotExist(err) {
+		return nil, err
+	} else if err := WriteJSONAtomic(manPath, man); err != nil {
+		return nil, err
+	}
+	return runCampaign(ctx, dir, man, opts)
+}
+
+// ResumeCampaign continues the campaign in dir, re-expanding the
+// matrix from campaign.json: finished runs are folded straight from
+// the journal, interrupted ones are deterministically replayed with
+// their latest snapshot verified byte-for-byte at its sim instant.
+func ResumeCampaign(ctx context.Context, dir string, opts CampaignOptions) (*CampaignResult, error) {
+	man, err := readManifest(filepath.Join(dir, manifestName))
+	if err != nil {
+		return nil, fmt.Errorf("experiment: resume %s: %w", dir, err)
+	}
+	opts.Checkpoint = phy.Micros(man.CheckpointMicros)
+	opts.Metrics = man.Metrics
+	if err := os.MkdirAll(filepath.Join(dir, snapshotsDir), 0o755); err != nil {
+		return nil, err
+	}
+	return runCampaign(ctx, dir, man, opts)
+}
+
+// ReadManifest loads a campaign directory's manifest.
+func ReadManifest(dir string) (Manifest, error) {
+	return readManifest(filepath.Join(dir, manifestName))
+}
+
+func readManifest(path string) (Manifest, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Manifest{}, err
+	}
+	var man Manifest
+	if err := json.Unmarshal(data, &man); err != nil {
+		return Manifest{}, fmt.Errorf("%s: %w", path, err)
+	}
+	if man.Version != 1 {
+		return Manifest{}, fmt.Errorf("%s: unsupported campaign version %d", path, man.Version)
+	}
+	return man, nil
+}
+
+func runCampaign(ctx context.Context, dir string, man Manifest, opts CampaignOptions) (*CampaignResult, error) {
+	specs, err := man.Matrix.Expand()
+	if err != nil {
+		return nil, err
+	}
+	j, journaled, err := openJournal(filepath.Join(dir, journalName))
+	if err != nil {
+		return nil, err
+	}
+	defer j.close()
+
+	res := &CampaignResult{
+		Specs:   specs,
+		Records: make([]RunRecord, len(specs)),
+		Done:    make([]bool, len(specs)),
+	}
+	for _, rec := range journaled {
+		if rec.Index < 0 || rec.Index >= len(specs) {
+			return nil, fmt.Errorf("experiment: journal records run %d, matrix has %d runs", rec.Index, len(specs))
+		}
+		sp := specs[rec.Index]
+		if rec.Name != sp.Name || rec.Seed != sp.Seed || rec.Scale != sp.Scale {
+			return nil, fmt.Errorf("experiment: journal run %d is %s/seed=%d/scale=%g, matrix expands to %s/seed=%d/scale=%g",
+				rec.Index, rec.Name, rec.Seed, rec.Scale, sp.Name, sp.Seed, sp.Scale)
+		}
+		if !res.Done[rec.Index] {
+			res.FromJournal++
+		}
+		res.Records[rec.Index] = rec
+		res.Done[rec.Index] = true
+	}
+
+	var pending []int
+	for i := range specs {
+		if !res.Done[i] {
+			pending = append(pending, i)
+		}
+	}
+
+	eng := &Engine{Workers: opts.Workers, Metrics: opts.Metrics}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if opts.Injector != nil {
+		workers = 1 // reproducible crash instants
+	}
+	if workers > len(pending) {
+		workers = len(pending)
+	}
+
+	var (
+		mu       sync.Mutex
+		firstErr error
+		verified int
+	)
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				rec, didVerify, err := runCellRecovered(eng, dir, specs[i], i, opts, j)
+				mu.Lock()
+				if err != nil {
+					if firstErr == nil {
+						firstErr = fmt.Errorf("run %d (%s seed=%d scale=%g): %w", i, specs[i].Name, specs[i].Seed, specs[i].Scale, err)
+					}
+				} else {
+					res.Records[i] = rec
+					res.Done[i] = true
+					if didVerify {
+						verified++
+					}
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+dispatch:
+	for _, i := range pending {
+		mu.Lock()
+		failed := firstErr != nil
+		mu.Unlock()
+		if failed {
+			break
+		}
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+			break dispatch
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	res.Verified = verified
+	if firstErr != nil {
+		return res, firstErr
+	}
+
+	// Fold in spec order — exactly the uninterrupted Aggregate path.
+	var rrs []RunResult
+	for i := range specs {
+		if res.Done[i] {
+			rrs = append(rrs, RunResult{Spec: specs[i], Summary: res.Records[i].Summary})
+		}
+	}
+	res.Aggregates = Aggregate(rrs)
+	if err := ctx.Err(); err != nil {
+		return res, err
+	}
+	return res, nil
+}
+
+// runCellRecovered runs one cell, converting an injected crash
+// (faultinject.Crashed panic) into an error that aborts the campaign
+// with the on-disk state exactly as-at-crash — the in-process
+// equivalent of a SIGKILL at that instant, which is what the
+// kill-and-resume tests exercise. Real panics propagate.
+func runCellRecovered(eng *Engine, dir string, spec Spec, idx int, opts CampaignOptions, j *journal) (rec RunRecord, didVerify bool, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if c, ok := r.(faultinject.Crashed); ok {
+				err = c
+				return
+			}
+			panic(r)
+		}
+	}()
+	return runCampaignCell(eng, dir, spec, idx, opts, j)
+}
+
+// runCampaignCell executes one pending run with checkpointing, then
+// journals its completion and retires its snapshot.
+func runCampaignCell(eng *Engine, dir string, spec Spec, idx int, opts CampaignOptions, j *journal) (RunRecord, bool, error) {
+	env := checkpointEnv{
+		interval: opts.Checkpoint,
+		runIdx:   idx,
+		inj:      opts.Injector,
+	}
+	snapPath := filepath.Join(dir, snapshotsDir, fmt.Sprintf("run-%d.snap", idx))
+	if opts.Checkpoint > 0 {
+		env.snapPath = snapPath
+	}
+	if f, err := snapshot.ReadFile(snapPath); err == nil {
+		meta, err := decodeMeta(f)
+		if err != nil {
+			return RunRecord{}, false, err
+		}
+		if meta.Name != spec.Name || meta.Seed != spec.Seed || meta.Scale != spec.Scale || meta.RunIdx != idx {
+			return RunRecord{}, false, fmt.Errorf("snapshot %s is for %s/seed=%d/scale=%g/run=%d, not this run", snapPath, meta.Name, meta.Seed, meta.Scale, meta.RunIdx)
+		}
+		env.verify = f
+		env.verifyT = meta.SimTime
+		env.interval = meta.Interval
+		if opts.Checkpoint > 0 {
+			env.snapPath = snapPath
+		}
+	} else if !os.IsNotExist(err) {
+		// A snapshot exists but does not validate: fail loud, never
+		// silently rerun over possibly-damaged campaign state.
+		return RunRecord{}, false, err
+	}
+
+	sum, hash, err := eng.runOneCheckpointed(spec, env)
+	if err != nil {
+		return RunRecord{}, false, err
+	}
+	rec := RunRecord{Index: idx, Name: spec.Name, Seed: spec.Seed, Scale: spec.Scale, Summary: sum, TraceHash: hash}
+	if err := j.append(rec, opts.Injector); err != nil {
+		return RunRecord{}, false, err
+	}
+	opts.Injector.AfterRun(idx)
+	os.Remove(snapPath) // completed: the journal is now the authority
+	return rec, env.verify != nil, nil
+}
+
+// snapMeta is the META section: which run a snapshot belongs to and
+// where in sim time it was taken.
+type snapMeta struct {
+	Name       string
+	Seed       int64
+	Scale      float64
+	RunIdx     int
+	Interval   phy.Micros
+	SimTime    phy.Micros
+	Checkpoint int
+}
+
+func encodeMeta(m snapMeta) []byte {
+	var e snapshot.Enc
+	e.Str(m.Name)
+	e.I64(m.Seed)
+	e.F64(m.Scale)
+	e.Int(m.RunIdx)
+	e.I64(m.Interval)
+	e.I64(m.SimTime)
+	e.Int(m.Checkpoint)
+	return e.Bytes()
+}
+
+func decodeMeta(f *snapshot.File) (snapMeta, error) {
+	p, err := f.MustSection(snapshot.TagMeta)
+	if err != nil {
+		return snapMeta{}, err
+	}
+	d := snapshot.NewDec(p)
+	m := snapMeta{
+		Name: d.Str(), Seed: d.I64(), Scale: d.F64(), RunIdx: d.Int(),
+		Interval: d.I64(), SimTime: d.I64(), Checkpoint: d.Int(),
+	}
+	return m, d.Finish()
+}
+
+// checkpointEnv parameterizes one checkpointed run.
+type checkpointEnv struct {
+	interval phy.Micros
+	snapPath string         // write mid-run snapshots here ("" = off)
+	verify   *snapshot.File // snapshot to replay-verify against
+	verifyT  phy.Micros     // sim instant the snapshot was taken at
+	runIdx   int
+	inj      *faultinject.Injector
+}
+
+// runOneCheckpointed is runOne with the campaign pipeline: a
+// TraceHasher between reorder and analyzer, periodic state snapshots,
+// and — on resume — byte-for-byte verification of the stored snapshot
+// against the deterministically replayed state at the same instant.
+func (e *Engine) runOneCheckpointed(spec Spec, env checkpointEnv) (Summary, string, error) {
+	run, err := spec.Scenario.Build()
+	if err != nil {
+		return Summary{}, "", err
+	}
+	a, err := analysis.New(analysis.Options{Metrics: e.Metrics})
+	if err != nil {
+		return Summary{}, "", err
+	}
+	th := NewTraceHasher(a.Feed)
+	ro := NewReorder(th.Add)
+	sink := ro.Add
+	var dd *Dedup
+	if ms, ok := run.(MultiSnifferRun); ok && ms.MultiSniffer() {
+		dd = NewDedup(ro.Add)
+		sink = dd.Add
+	}
+
+	cp, can := run.(Checkpointable)
+	switch {
+	case env.verify != nil && !can:
+		return Summary{}, "", fmt.Errorf("scenario is not checkpointable but snapshot exists")
+	case !can || (env.snapPath == "" && env.verify == nil):
+		// Run-to-completion fallback (sweep/ladder, or checkpointing
+		// off): the journal still records the completion.
+		if err := run.Stream(sink); err != nil {
+			return Summary{}, "", err
+		}
+	default:
+		cpIdx := 0
+		verified := env.verify == nil
+		err := cp.StreamSlices(sink, env.interval, func(t phy.Micros) error {
+			if env.verify != nil && t == env.verifyT {
+				if err := verifySnapshot(env.verify, cp, th, a, ro, dd); err != nil {
+					return err
+				}
+				verified = true
+			}
+			if env.snapPath != "" {
+				data := buildRunSnapshot(spec, env.runIdx, t, env.interval, cpIdx, cp, th, a, ro, dd)
+				if err := snapshot.AtomicWriteFile(env.snapPath, data); err != nil {
+					return err
+				}
+				env.inj.AtCheckpoint(env.runIdx, cpIdx)
+				cpIdx++
+			}
+			return nil
+		})
+		if err != nil {
+			return Summary{}, "", err
+		}
+		if !verified {
+			return Summary{}, "", fmt.Errorf("replay never reached snapshot instant t=%dus (interval changed?)", env.verifyT)
+		}
+	}
+
+	ro.Flush()
+	return Summarize(a.Result()), th.Sum(), nil
+}
+
+// buildRunSnapshot assembles a run's checkpoint: identity, simulator
+// state, sniffer state, and pipeline position.
+func buildRunSnapshot(spec Spec, runIdx int, t, interval phy.Micros, cpIdx int, cp Checkpointable, th *TraceHasher, a *analysis.Analyzer, ro *Reorder, dd *Dedup) []byte {
+	net, sns := cp.CaptureState()
+	b := snapshot.NewBuilder()
+	b.Section(snapshot.TagMeta, encodeMeta(snapMeta{
+		Name: spec.Name, Seed: spec.Seed, Scale: spec.Scale,
+		RunIdx: runIdx, Interval: interval, SimTime: t, Checkpoint: cpIdx,
+	}))
+	b.Section(snapshot.TagNetwork, snapshot.EncodeNetworkState(net))
+	b.Section(snapshot.TagSniffers, snapshot.EncodeSnifferStates(sns))
+	b.Section(snapshot.TagPipeline, encodePipeline(th, a, ro, dd))
+	return b.Finish()
+}
+
+// verifySnapshot proves the replayed run passes through exactly the
+// state a stored snapshot witnessed: each state section, re-captured
+// now, must be byte-identical. Any divergence — version skew in the
+// simulator, nondeterminism, damage the checksum missed — fails the
+// resume loudly instead of continuing from a wrong state.
+func verifySnapshot(f *snapshot.File, cp Checkpointable, th *TraceHasher, a *analysis.Analyzer, ro *Reorder, dd *Dedup) error {
+	net, sns := cp.CaptureState()
+	sections := []struct {
+		tag  string
+		data []byte
+	}{
+		{snapshot.TagNetwork, snapshot.EncodeNetworkState(net)},
+		{snapshot.TagSniffers, snapshot.EncodeSnifferStates(sns)},
+		{snapshot.TagPipeline, encodePipeline(th, a, ro, dd)},
+	}
+	for _, s := range sections {
+		stored, err := f.MustSection(s.tag)
+		if err != nil {
+			return err
+		}
+		if !bytes.Equal(stored, s.data) {
+			return fmt.Errorf("snapshot section %q does not match replayed state (%d vs %d bytes): refusing to resume from diverged state", s.tag, len(stored), len(s.data))
+		}
+	}
+	return nil
+}

@@ -22,9 +22,12 @@ import (
 //	GET    /api/sessions/{id}/metrics    — windowed metrics (?window=SECONDS)
 //	GET    /api/sessions/{id}/series     — per-second buckets (?seconds=N)
 //	GET    /api/sessions/{id}/alerts     — alert status + history
-//	POST   /api/sessions/{id}/ingest     — push frames (push sessions)
+//	POST   /api/sessions/{id}/ingest     — push frames (push sessions);
+//	                                       bodies over MaxIngestBytes get 413
 //
-// All responses are JSON; errors use {"error": "..."} with 400/404/429.
+// All responses are JSON; errors use {"error": "..."} with
+// 400/404/413/429. Per-record ingest failures add structured locator
+// fields ("record", "field", "value") beside the error message.
 func NewServer(mgr *Manager) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -106,10 +109,22 @@ func NewServer(mgr *Manager) http.Handler {
 		writeJSON(w, http.StatusOK, map[string]any{"status": status, "history": history})
 	}))
 	mux.HandleFunc("POST /api/sessions/{id}/ingest", withSession(mgr, func(w http.ResponseWriter, r *http.Request, s *Session) {
+		// Cap the request body: an oversized (or unbounded) push must
+		// fail with 413 before it can balloon the daemon's memory, not
+		// be read to completion first.
+		r.Body = http.MaxBytesReader(w, r.Body, MaxIngestBytes)
 		var body struct {
 			Records []ingestRecord `json:"records"`
 		}
 		if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+			var tooBig *http.MaxBytesError
+			if errors.As(err, &tooBig) {
+				writeJSON(w, http.StatusRequestEntityTooLarge, map[string]any{
+					"error":       fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit),
+					"limit_bytes": tooBig.Limit,
+				})
+				return
+			}
 			writeErr(w, http.StatusBadRequest, fmt.Errorf("decoding records: %w", err))
 			return
 		}
@@ -117,6 +132,19 @@ func NewServer(mgr *Manager) http.Handler {
 		for i, ir := range body.Records {
 			rec, err := ir.toRecord()
 			if err != nil {
+				// Field-level failures carry a structured locator so a
+				// pusher can find the offending record without parsing
+				// prose out of the error string.
+				var fe *fieldError
+				if errors.As(err, &fe) {
+					writeJSON(w, http.StatusBadRequest, map[string]any{
+						"error":  fmt.Sprintf("record %d: %v", i, err),
+						"record": i,
+						"field":  fe.Field,
+						"value":  fe.Value,
+					})
+					return
+				}
 				writeErr(w, http.StatusBadRequest, fmt.Errorf("record %d: %w", i, err))
 				return
 			}
@@ -165,10 +193,27 @@ type ingestRecord struct {
 	FrameHex string `json:"frame_hex"`
 }
 
+// MaxIngestBytes caps an ingest request body. At ~2x hex expansion it
+// admits on the order of a million typical frames per push — far past
+// any sane batch — while bounding what a misbehaving pusher can make
+// the daemon buffer.
+const MaxIngestBytes = 16 << 20
+
+// fieldError locates a per-record validation failure for the
+// structured ingest error response.
+type fieldError struct {
+	Field string
+	Value string
+	Err   error
+}
+
+func (e *fieldError) Error() string { return fmt.Sprintf("%s: %v", e.Field, e.Err) }
+func (e *fieldError) Unwrap() error { return e.Err }
+
 func (ir ingestRecord) toRecord() (capture.Record, error) {
 	frame, err := hex.DecodeString(ir.FrameHex)
 	if err != nil {
-		return capture.Record{}, fmt.Errorf("frame_hex: %w", err)
+		return capture.Record{}, &fieldError{Field: "frame_hex", Value: truncate(ir.FrameHex, 64), Err: err}
 	}
 	orig := ir.OrigLen
 	if orig == 0 {
@@ -183,6 +228,13 @@ func (ir ingestRecord) toRecord() (capture.Record, error) {
 		OrigLen:   orig,
 		Frame:     frame,
 	}, nil
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n] + "…"
 }
 
 func statusFor(err error) int {

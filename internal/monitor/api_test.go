@@ -269,3 +269,92 @@ func TestAPIPcapSession(t *testing.T) {
 		t.Fatalf("finished replay: %+v", v)
 	}
 }
+
+// pushSession creates a push session and returns its id.
+func pushSession(t *testing.T, srv *httptest.Server) string {
+	t.Helper()
+	code, body := do(t, "POST", srv.URL+"/api/sessions", Config{
+		Source: SourceConfig{Type: SourcePush},
+	})
+	if code != http.StatusCreated {
+		t.Fatalf("create push session: %d\n%s", code, body)
+	}
+	var v View
+	if err := json.Unmarshal(body, &v); err != nil {
+		t.Fatal(err)
+	}
+	return v.ID
+}
+
+// TestIngestBodyTooLarge pins the ingest body cap: anything over
+// MaxIngestBytes is refused with 413 and a structured limit, without
+// being buffered first.
+func TestIngestBodyTooLarge(t *testing.T) {
+	mgr := NewManager(context.Background(), 2)
+	defer mgr.Close()
+	srv := httptest.NewServer(NewServer(mgr))
+	defer srv.Close()
+	id := pushSession(t, srv)
+
+	// One giant frame_hex string pushes the body just past the cap.
+	huge := strings.Repeat("a", MaxIngestBytes+1024)
+	code, body := do(t, "POST", srv.URL+"/api/sessions/"+id+"/ingest",
+		map[string]any{"records": []map[string]any{{"frame_hex": huge}}})
+	if code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized ingest: %d, want 413\n%.200s", code, body)
+	}
+	wantKeys(t, body, "error", "limit_bytes")
+	var resp struct {
+		LimitBytes int64 `json:"limit_bytes"`
+	}
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.LimitBytes != MaxIngestBytes {
+		t.Fatalf("limit_bytes = %d, want %d", resp.LimitBytes, MaxIngestBytes)
+	}
+
+	// A body just under the cap is still parsed (and rejected for what
+	// it says, not for its size).
+	code, body = do(t, "POST", srv.URL+"/api/sessions/"+id+"/ingest",
+		map[string]any{"records": []map[string]any{}})
+	if code != http.StatusOK {
+		t.Fatalf("small ingest after oversized one: %d\n%s", code, body)
+	}
+}
+
+// TestIngestMalformedHexStructuredError pins the structured error for
+// undecodable frame_hex: 400 plus machine-readable locator fields.
+func TestIngestMalformedHexStructuredError(t *testing.T) {
+	mgr := NewManager(context.Background(), 2)
+	defer mgr.Close()
+	srv := httptest.NewServer(NewServer(mgr))
+	defer srv.Close()
+	id := pushSession(t, srv)
+
+	good := map[string]any{"time_us": 1000, "rate": 10, "channel": 1,
+		"frame_hex": hex.EncodeToString(beaconRec(1000, 1).Frame)}
+	bad := map[string]any{"time_us": 2000, "rate": 10, "channel": 1,
+		"frame_hex": "zz-not-hex"}
+	code, body := do(t, "POST", srv.URL+"/api/sessions/"+id+"/ingest",
+		map[string]any{"records": []map[string]any{good, bad}})
+	if code != http.StatusBadRequest {
+		t.Fatalf("malformed hex: %d, want 400\n%s", code, body)
+	}
+	wantKeys(t, body, "error", "record", "field", "value")
+	var resp struct {
+		Error  string `json:"error"`
+		Record int    `json:"record"`
+		Field  string `json:"field"`
+		Value  string `json:"value"`
+	}
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Record != 1 || resp.Field != "frame_hex" || resp.Value != "zz-not-hex" {
+		t.Fatalf("structured error = %+v", resp)
+	}
+	if !strings.Contains(resp.Error, "record 1") || !strings.Contains(resp.Error, "frame_hex") {
+		t.Fatalf("error message %q lacks locator prose", resp.Error)
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"math"
 	"math/rand"
 
+	"wlan80211/internal/detrand"
 	"wlan80211/internal/dot11"
 	"wlan80211/internal/eventq"
 	"wlan80211/internal/phy"
@@ -148,6 +149,7 @@ type linkRow struct {
 type Network struct {
 	cfg    Config
 	rng    *rand.Rand
+	rngSrc *detrand.Source // counted source behind rng, for snapshots
 	q      eventq.Queue
 	media  map[phy.Channel]*medium
 	nodes  []*Node
@@ -191,9 +193,11 @@ func New(cfg Config) *Network {
 	if cfg.CWMax == 0 {
 		cfg = DefaultConfig()
 	}
+	src := detrand.New(cfg.Seed)
 	return &Network{
 		cfg:     cfg,
-		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		rng:     rand.New(src),
+		rngSrc:  src,
 		media:   make(map[phy.Channel]*medium),
 		byAddr:  make(map[dot11.Addr]*Node),
 		noiseMW: pow10(cfg.Env.NoiseFloorDBm / 10),

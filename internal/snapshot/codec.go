@@ -1,0 +1,186 @@
+package snapshot
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Enc builds a section payload from fixed-width little-endian scalars
+// and uvarint-prefixed blobs. It only grows a buffer and cannot fail.
+type Enc struct {
+	buf []byte
+}
+
+// Bytes returns the encoded payload.
+func (e *Enc) Bytes() []byte { return e.buf }
+
+func (e *Enc) U8(v uint8)    { e.buf = append(e.buf, v) }
+func (e *Enc) U16(v uint16)  { e.buf = binary.LittleEndian.AppendUint16(e.buf, v) }
+func (e *Enc) U32(v uint32)  { e.buf = binary.LittleEndian.AppendUint32(e.buf, v) }
+func (e *Enc) U64(v uint64)  { e.buf = binary.LittleEndian.AppendUint64(e.buf, v) }
+func (e *Enc) I32(v int32)   { e.U32(uint32(v)) }
+func (e *Enc) I64(v int64)   { e.U64(uint64(v)) }
+func (e *Enc) Int(v int)     { e.I64(int64(v)) }
+func (e *Enc) F64(v float64) { e.U64(math.Float64bits(v)) }
+
+func (e *Enc) Bool(v bool) {
+	if v {
+		e.U8(1)
+	} else {
+		e.U8(0)
+	}
+}
+
+// Count writes an element count as a uvarint.
+func (e *Enc) Count(n int) { e.buf = binary.AppendUvarint(e.buf, uint64(n)) }
+
+// Blob writes a uvarint length followed by the bytes.
+func (e *Enc) Blob(b []byte) {
+	e.Count(len(b))
+	e.buf = append(e.buf, b...)
+}
+
+// Str writes a uvarint length followed by the string bytes.
+func (e *Enc) Str(s string) {
+	e.Count(len(s))
+	e.buf = append(e.buf, s...)
+}
+
+// Dec reads an Enc payload back. It is error-sticky: the first defect
+// latches Err and every later read returns zero values, so decoders
+// can read a whole structure and check once. Counts are validated
+// against the bytes actually remaining, so a hostile length can never
+// drive an allocation larger than the input itself.
+type Dec struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewDec wraps a payload for decoding.
+func NewDec(b []byte) *Dec { return &Dec{buf: b} }
+
+// Err returns the first decoding defect, or nil.
+func (d *Dec) Err() error { return d.err }
+
+// Remaining returns how many undecoded bytes are left.
+func (d *Dec) Remaining() int { return len(d.buf) - d.off }
+
+// Finish errors if any input remains undecoded (a length/layout
+// mismatch that scalar reads alone would not catch).
+func (d *Dec) Finish() error {
+	if d.err == nil && d.off != len(d.buf) {
+		d.failf("%d trailing bytes", len(d.buf)-d.off)
+	}
+	return d.err
+}
+
+func (d *Dec) failf(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf("snapshot: decode at offset %d: %s", d.off, fmt.Sprintf(format, args...))
+	}
+}
+
+func (d *Dec) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if len(d.buf)-d.off < n {
+		d.failf("need %d bytes, %d remain: %v", n, len(d.buf)-d.off, ErrTruncated)
+		return nil
+	}
+	b := d.buf[d.off : d.off+n]
+	d.off += n
+	return b
+}
+
+func (d *Dec) U8() uint8 {
+	b := d.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (d *Dec) U16() uint16 {
+	b := d.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(b)
+}
+
+func (d *Dec) U32() uint32 {
+	b := d.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (d *Dec) U64() uint64 {
+	b := d.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+func (d *Dec) I32() int32   { return int32(d.U32()) }
+func (d *Dec) I64() int64   { return int64(d.U64()) }
+func (d *Dec) Int() int     { return int(d.I64()) }
+func (d *Dec) F64() float64 { return math.Float64frombits(d.U64()) }
+
+func (d *Dec) Bool() bool {
+	switch d.U8() {
+	case 0:
+		return false
+	case 1:
+		return true
+	default:
+		d.failf("bool out of range")
+		return false
+	}
+}
+
+// Count reads an element count and validates it against the remaining
+// input, assuming each element occupies at least elemMin bytes. This
+// is the allocation cap: a decoder sizing a slice by Count can never
+// be made to allocate beyond the input length.
+func (d *Dec) Count(elemMin int) int {
+	if d.err != nil {
+		return 0
+	}
+	n, sz := binary.Uvarint(d.buf[d.off:])
+	if sz <= 0 {
+		d.failf("bad uvarint: %v", ErrTruncated)
+		return 0
+	}
+	d.off += sz
+	if elemMin < 1 {
+		elemMin = 1
+	}
+	if n > uint64(d.Remaining()/elemMin) {
+		d.failf("count %d exceeds %d remaining bytes (elements are >=%d bytes)", n, d.Remaining(), elemMin)
+		return 0
+	}
+	return int(n)
+}
+
+// Blob reads a uvarint length and returns a copy of that many bytes.
+func (d *Dec) Blob() []byte {
+	n := d.Count(1)
+	b := d.take(n)
+	if b == nil {
+		return nil
+	}
+	return append([]byte(nil), b...)
+}
+
+// Str reads a uvarint length and that many bytes as a string.
+func (d *Dec) Str() string {
+	n := d.Count(1)
+	b := d.take(n)
+	return string(b)
+}

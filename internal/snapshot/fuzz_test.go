@@ -1,0 +1,60 @@
+package snapshot
+
+import (
+	"testing"
+
+	"wlan80211/internal/eventq"
+	"wlan80211/internal/workload"
+)
+
+// FuzzParse drives the full decode path — container framing, checksum,
+// and every typed section codec — with arbitrary bytes. The invariant:
+// errors, never panics, and (via Dec.Count's remaining-bytes cap)
+// never allocations beyond the input size. The seed corpus in
+// testdata/fuzz/FuzzParse pins real snapshots, truncations, bit
+// flips, and version bumps; `go test` replays it on every run, so the
+// race job exercises it too.
+func FuzzParse(f *testing.F) {
+	// Real snapshot of a mid-run network plus hand-made degenerate
+	// shapes as live seeds (the checked-in corpus extends these).
+	b, err := workload.DaySession().Scale(0.02).Build()
+	if err != nil {
+		f.Fatal(err)
+	}
+	b.Net.RunUntil(500_000)
+	bl := NewBuilder()
+	bl.Section(TagNetwork, EncodeNetworkState(b.Net.CaptureState()))
+	bl.Section(TagQueue, EncodeQueueState(b.Net.CaptureState().Queue))
+	real := bl.Finish()
+	f.Add(real)
+	f.Add(real[:len(real)/2])
+	mut := append([]byte(nil), real...)
+	mut[len(mut)/3] ^= 0x10
+	f.Add(mut)
+	f.Add([]byte{})
+	f.Add([]byte("WLSNAP"))
+	f.Add([]byte("WLSNAP\x01\x00META\xff\xff\xff\xff\xff\xff\xff\xff\x7f"))
+	f.Add(NewBuilder().Finish())
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		file, err := Parse(data)
+		if err != nil {
+			return
+		}
+		// A structurally valid container: decode every known section;
+		// failures must come back as errors only.
+		if p, ok := file.Section(TagQueue); ok {
+			if st, err := DecodeQueueState(p); err == nil {
+				// Even a decodable state may be structurally invalid;
+				// RestoreState must reject it without panicking.
+				_, _ = eventq.RestoreState(st, func(int) func() { return func() {} })
+			}
+		}
+		if p, ok := file.Section(TagNetwork); ok {
+			_, _ = DecodeNetworkState(p)
+		}
+		if p, ok := file.Section(TagSniffers); ok {
+			_, _ = DecodeSnifferStates(p)
+		}
+	})
+}

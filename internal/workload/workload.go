@@ -257,3 +257,40 @@ func (b *Built) RunStream(emit func(capture.Record)) {
 	}
 	b.Net.RunFor(phy.Micros(b.Session.DurationSec) * phy.MicrosPerSecond)
 }
+
+// RunStreamSlices is RunStream with the run sliced at interval
+// boundaries: after the simulation reaches each multiple of interval
+// (and the final instant), atSlice is called with the current sim
+// time, between events, so the caller can checkpoint. Slicing is
+// invisible to the simulation — the event sequence, and therefore the
+// emitted stream, is bit-identical to RunStream (RunUntil in steps
+// fires exactly the events one RunUntil would). An atSlice error
+// aborts the run and is returned.
+func (b *Built) RunStreamSlices(emit func(capture.Record), interval phy.Micros, atSlice func(t phy.Micros) error) error {
+	for _, sn := range b.Sniffers {
+		sn.SetEmit(emit)
+	}
+	total := phy.Micros(b.Session.DurationSec) * phy.MicrosPerSecond
+	return runSlices(b.Net, total, interval, atSlice)
+}
+
+// runSlices advances net to total in interval steps, invoking atSlice
+// after each boundary.
+func runSlices(net *sim.Network, total, interval phy.Micros, atSlice func(t phy.Micros) error) error {
+	if interval <= 0 {
+		interval = total
+	}
+	for t := phy.Micros(0); t < total; {
+		t += interval
+		if t > total {
+			t = total
+		}
+		net.RunUntil(t)
+		if atSlice != nil {
+			if err := atSlice(t); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
