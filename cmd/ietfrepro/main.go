@@ -31,9 +31,14 @@ import (
 	"syscall"
 
 	"wlan80211/internal/experiment"
+	"wlan80211/internal/prof"
 	"wlan80211/internal/report"
 	"wlan80211/internal/workload"
 )
+
+// profStop flushes any active profiles; main replaces it once
+// profiling starts. Idempotent, safe before every exit path.
+var profStop = func() {}
 
 func main() {
 	var (
@@ -43,11 +48,23 @@ func main() {
 		sweep   = flag.Int("sweep", 0, "run the day/plenary/ladder matrix over N seeds and print mean±stddev aggregates instead of figures")
 		grid    = flag.Bool("grid", false, "include the multi-cell grid scenarios in the -sweep matrix (implies -sweep 1 when unset)")
 		jsonOut = flag.String("json", "", "also write the run summaries (or -sweep aggregates) as JSON to this path, atomically")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProf = flag.String("memprofile", "", "write an allocs/heap profile to this file at exit")
 	)
 	flag.Parse()
+	stop, err := prof.Start(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ietfrepro:", err)
+		os.Exit(2)
+	}
+	// Explicit os.Exit paths flush through profStop (defers don't run
+	// across os.Exit); stop is idempotent, so double flushes are safe.
+	profStop = stop
+	defer stop()
 
 	if *only != 0 && (*only < 4 || *only > 15) {
 		fmt.Fprintf(os.Stderr, "ietfrepro: no figure %d (have 4-15)\n", *only)
+		profStop()
 		os.Exit(2)
 	}
 
@@ -96,12 +113,14 @@ func main() {
 	for _, res := range results {
 		if res.Err != nil {
 			fmt.Fprintf(os.Stderr, "ietfrepro: %s: %v\n", res.Spec.Name, res.Err)
+			profStop()
 			os.Exit(1)
 		}
 	}
 	if *jsonOut != "" {
 		if err := writeSummariesJSON(*jsonOut, *scale, results); err != nil {
 			fmt.Fprintln(os.Stderr, "ietfrepro:", err)
+			profStop()
 			os.Exit(1)
 		}
 	}
@@ -196,6 +215,7 @@ func runMatrix(nSeeds int, scale float64, workers int, grid bool, jsonOut string
 	specs, err := m.Expand()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ietfrepro:", err)
+		profStop()
 		os.Exit(1)
 	}
 	// SIGINT/SIGTERM stops dispatching further seeds; completed runs
@@ -232,13 +252,16 @@ func runMatrix(nSeeds int, scale float64, workers int, grid bool, jsonOut string
 		}{m.Scenarios, m.Seeds, m.Scales, aggs}
 		if err := experiment.WriteJSONAtomic(jsonOut, doc); err != nil {
 			fmt.Fprintln(os.Stderr, "ietfrepro:", err)
+			profStop()
 			os.Exit(1)
 		}
 	}
 	if failed > 0 {
+		profStop()
 		os.Exit(1)
 	}
 	if canceled > 0 {
+		profStop()
 		os.Exit(130)
 	}
 }

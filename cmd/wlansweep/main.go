@@ -40,6 +40,7 @@ import (
 
 	"wlan80211/internal/experiment"
 	"wlan80211/internal/phy"
+	"wlan80211/internal/prof"
 )
 
 // jsonReport is the -json document: the expanded matrix, one row per
@@ -77,8 +78,20 @@ func main() {
 		resume    = flag.String("resume", "", "resume the campaign in this directory (matrix flags ignored; campaign.json is authoritative)")
 		checkp    = flag.Float64("checkpoint", 0, "with -campaign: mid-run snapshot interval in sim-seconds (0 = journal only)")
 		list      = flag.Bool("list", false, "list registered scenarios and exit")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the matrix run to this file")
+		memProf   = flag.String("memprofile", "", "write an allocs/heap profile to this file at exit")
 	)
 	flag.Parse()
+	stop, err := prof.Start(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wlansweep:", err)
+		os.Exit(2)
+	}
+	// fatal and every explicit os.Exit flush through profStop (defers
+	// don't run across os.Exit); stop is idempotent, so the normal-exit
+	// defer and an early-exit flush cannot double-write.
+	profStop = stop
+	defer stop()
 	if *list {
 		for _, n := range experiment.Names() {
 			fmt.Println(n)
@@ -87,7 +100,6 @@ func main() {
 	}
 
 	m := experiment.Matrix{Scenarios: splitList(*scenarios)}
-	var err error
 	if m.Scales, err = parseFloats(*scales); err != nil {
 		fatal(err)
 	}
@@ -210,9 +222,11 @@ func main() {
 		}
 	}
 	if failed > 0 {
+		profStop()
 		os.Exit(1)
 	}
 	if canceled > 0 {
+		profStop()
 		os.Exit(130) // conventional interrupted-by-signal status
 	}
 }
@@ -273,6 +287,7 @@ func runCampaignMode(ctx context.Context, startDir, resumeDir string, m experime
 		}
 	}
 	if interrupted {
+		profStop()
 		os.Exit(130)
 	}
 }
@@ -311,7 +326,12 @@ func parseFloats(s string) ([]float64, error) {
 	return out, nil
 }
 
+// profStop flushes any active profiles; main replaces it once
+// profiling starts. Idempotent, safe before every exit path.
+var profStop = func() {}
+
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "wlansweep:", err)
+	profStop()
 	os.Exit(2)
 }

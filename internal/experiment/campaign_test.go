@@ -47,6 +47,9 @@ func TestCheckpointedTraceHashMatchesUninterrupted(t *testing.T) {
 		{"plenary", 0.1},
 		{"grid", 0.5},
 		{"grid9", 0.35},
+		// grid256 exercises the sparse spatially-culled link rows and
+		// index witness through the snapshot/replay round-trip.
+		{"grid256", 0.5},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -65,6 +65,13 @@ func init() {
 		}
 		return NewGrid("grid9", g.Scale(scale))
 	})
+	Register("grid256", func(seed int64, scale float64) Scenario {
+		g := workload.Grid256()
+		if seed != 0 {
+			g.Seed = seed
+		}
+		return NewGrid("grid256", g.Scale(scale))
+	})
 }
 
 // NewSession wraps a workload session (day/plenary shape) as a

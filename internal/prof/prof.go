@@ -1,0 +1,57 @@
+// Package prof wires runtime/pprof profiling into the CLIs: one call
+// starts the requested CPU and/or heap profiles, one idempotent stop
+// flushes them. It exists so scaling work on campus-size scenarios can
+// profile the real binaries (wlansweep, ietfrepro) instead of
+// reconstructing workloads under go test.
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"sync"
+)
+
+// Start begins the profiles named by the (possibly empty) file paths:
+// cpuPath receives a CPU profile from now until stop, memPath an
+// allocs-accounted heap profile written at stop. It returns an
+// idempotent stop function — safe to both defer and call explicitly on
+// early-exit paths, which matters because os.Exit skips defers: call
+// stop before every exit site. An empty path skips that profile; with
+// both empty, Start is a no-op returning a no-op stop.
+func Start(cpuPath, memPath string) (stop func(), err error) {
+	var cpuF *os.File
+	if cpuPath != "" {
+		cpuF, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("prof: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuF); err != nil {
+			cpuF.Close()
+			return nil, fmt.Errorf("prof: %w", err)
+		}
+	}
+	var once sync.Once
+	stop = func() {
+		once.Do(func() {
+			if cpuF != nil {
+				pprof.StopCPUProfile()
+				cpuF.Close()
+			}
+			if memPath != "" {
+				f, err := os.Create(memPath)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "prof: %v\n", err)
+					return
+				}
+				defer f.Close()
+				runtime.GC() // settle live-heap accounting before the write
+				if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+					fmt.Fprintf(os.Stderr, "prof: %v\n", err)
+				}
+			}
+		})
+	}
+	return stop, nil
+}

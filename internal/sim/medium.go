@@ -17,6 +17,12 @@ type medium struct {
 	// obsScratch is the reused Overlapped backing for tap
 	// observations (Taps may not retain it).
 	obsScratch []TxRef
+	// senseScratch/candScratch are the reused candidate buffers of the
+	// spatially-culled transmit and complete loops (separate so a
+	// transmit nested under a completion can't clobber the delivery
+	// set).
+	senseScratch []spCand
+	candScratch  []spCand
 }
 
 // transmission is one in-flight frame on the medium. Transmissions
@@ -90,8 +96,11 @@ func newMedium(n *Network, c phy.Channel) *medium {
 	return &medium{net: n, channel: c}
 }
 
-// attach registers a node with the medium.
+// attach registers a node with the medium. mediumIdx mirrors the
+// node's position in the attachment order — the delivery order — so
+// culled loops can reproduce it without scanning m.nodes.
 func (m *medium) attach(n *Node) {
+	n.mediumIdx = len(m.nodes)
 	m.nodes = append(m.nodes, n)
 	n.medium = m
 }
@@ -102,6 +111,9 @@ func (m *medium) detach(n *Node) {
 	for i, o := range m.nodes {
 		if o == n {
 			m.nodes = append(m.nodes[:i], m.nodes[i+1:]...)
+			for j := i; j < len(m.nodes); j++ {
+				m.nodes[j].mediumIdx = j
+			}
 			break
 		}
 	}
@@ -119,7 +131,11 @@ func (m *medium) busy(n *Node) bool {
 		if tx.from == n {
 			continue
 		}
-		if tx.row.to[n.ID].sense {
+		if tx.row.sparse {
+			if tx.row.senses(n) {
+				return true
+			}
+		} else if tx.row.to[n.ID].sense {
 			return true
 		}
 	}
@@ -185,13 +201,25 @@ func (m *medium) transmit(n *Node, f dot11.Frame, r phy.Rate) phy.Micros {
 	m.active = append(m.active, tx)
 
 	// Carrier-sense notification: nodes that sense this transmitter
-	// see the medium go busy.
-	for _, o := range m.nodes {
-		if o == n {
-			continue
+	// see the medium go busy. Sparse rows visit only the in-range
+	// neighborhood, in the same attachment order the dense scan walks
+	// — every culled node has sense=false, so the dense loop would
+	// skip it anyway.
+	if tx.row.sparse {
+		m.senseScratch = m.gatherCands(m.senseScratch, tx.row, n)
+		for _, c := range m.senseScratch {
+			if c.l.sense {
+				c.o.mediumBusyDelta(+1)
+			}
 		}
-		if tx.row.to[o.ID].sense {
-			o.mediumBusyDelta(+1)
+	} else {
+		for _, o := range m.nodes {
+			if o == n {
+				continue
+			}
+			if tx.row.to[o.ID].sense {
+				o.mediumBusyDelta(+1)
+			}
 		}
 	}
 	m.net.q.At(tx.end, tx.completeFn)
@@ -211,25 +239,46 @@ func (m *medium) complete(tx *transmission) {
 	m.active[last] = nil
 	m.active = m.active[:last]
 
-	for _, o := range m.nodes {
-		if o == tx.from {
-			continue
+	// Carrier-sense release, then delivery. Sparse rows gather the
+	// in-range neighborhood once (attachment order, matching the dense
+	// scans): a culled node has sense=false and snr<=0, so the dense
+	// loops would traverse it with zero effect — and zero RNG draws,
+	// since sparse mode implies no shadowing.
+	if tx.row.sparse {
+		m.candScratch = m.gatherCands(m.candScratch, tx.row, tx.from)
+		for _, c := range m.candScratch {
+			if c.l.sense {
+				c.o.mediumBusyDelta(-1)
+			}
 		}
-		if tx.row.to[o.ID].sense {
-			o.mediumBusyDelta(-1)
+		for _, c := range m.candScratch {
+			snr, ok := m.deliverable(c.o, tx, c.l)
+			if !ok {
+				continue
+			}
+			c.o.receive(tx, snr)
 		}
-	}
+	} else {
+		for _, o := range m.nodes {
+			if o == tx.from {
+				continue
+			}
+			if tx.row.to[o.ID].sense {
+				o.mediumBusyDelta(-1)
+			}
+		}
 
-	// Deliver to each node that could have heard the frame.
-	for _, o := range m.nodes {
-		if o == tx.from {
-			continue
+		// Deliver to each node that could have heard the frame.
+		for _, o := range m.nodes {
+			if o == tx.from {
+				continue
+			}
+			snr, ok := m.deliverable(o, tx, tx.row.to[o.ID])
+			if !ok {
+				continue
+			}
+			o.receive(tx, snr)
 		}
-		snr, ok := m.deliverable(o, tx)
-		if !ok {
-			continue
-		}
-		o.receive(tx, snr)
 	}
 
 	// Feed taps. Frame and Overlapped alias reused buffers; Taps
@@ -287,9 +336,9 @@ func (m *medium) complete(tx *transmission) {
 // A receiver that was itself transmitting during any part of tx is
 // deaf (half-duplex); that is checked before the SINR test so a deaf
 // node is not also counted as a collision victim.
-func (m *medium) deliverable(o *Node, tx *transmission) (snrDB float64, ok bool) {
+func (m *medium) deliverable(o *Node, tx *transmission, l link) (snrDB float64, ok bool) {
 	env := &m.net.cfg.Env
-	rxPower := tx.row.to[o.ID].dBm
+	rxPower := l.dBm
 	if env.ShadowingSigmaDB > 0 {
 		rxPower += m.net.rng.NormFloat64() * env.ShadowingSigmaDB
 	}
@@ -317,8 +366,17 @@ func (m *medium) deliverable(o *Node, tx *transmission) (snrDB float64, ok bool)
 	// (the resilience that makes rate fallback attractive, Sec 3).
 	if len(tx.overlapped) > 0 {
 		interfMW := 0.0
-		for _, it := range tx.overlapped {
-			interfMW += it.row.to[o.ID].mw
+		if m.net.sparse {
+			// An interferer's pinned row may have culled o; its
+			// sub-floor power still belongs in the sum (mwTo recomputes
+			// from the row's pinned transmitter position on a miss).
+			for _, it := range tx.overlapped {
+				interfMW += m.net.mwTo(it.row, o)
+			}
+		} else {
+			for _, it := range tx.overlapped {
+				interfMW += it.row.to[o.ID].mw
+			}
 		}
 		if interfMW > 0 {
 			sinr := rxPower - mwToDBm(interfMW+m.net.noiseMW)

@@ -62,15 +62,19 @@ const (
 
 // Node is a station or access point.
 type Node struct {
-	net     *Network
-	medium  *medium
-	ID      int
-	Name    string
-	Addr    dot11.Addr
-	Pos     Position
-	Channel phy.Channel
-	TxPower float64
-	IsAP    bool
+	net    *Network
+	medium *medium
+	// mediumIdx is the node's position in its medium's attachment
+	// order (the delivery order), maintained by attach/detach so
+	// spatially-culled loops can sort candidates without scanning.
+	mediumIdx int
+	ID        int
+	Name      string
+	Addr      dot11.Addr
+	Pos       Position
+	Channel   phy.Channel
+	TxPower   float64
+	IsAP      bool
 	// UseRTS makes the node protect unicast data with RTS/CTS — the
 	// minority behaviour the paper observed (Sec 6.1).
 	UseRTS bool
@@ -443,7 +447,7 @@ func (n *Node) snrTowards(to dot11.Addr) float64 {
 	if peer == nil {
 		return 25 // unknown receiver: assume a healthy link
 	}
-	return n.net.rowFor(n).to[peer.ID].snr
+	return n.net.snrTo(n.net.rowFor(n), peer)
 }
 
 // peerByAddr resolves an address to a node (nil for broadcast or

@@ -59,6 +59,11 @@ type Config struct {
 	QueueLimit int
 	// DefaultTxPowerDBm is assigned to nodes that don't override it.
 	DefaultTxPowerDBm float64
+	// ForceDenseLinks disables spatial culling even when the
+	// environment is deterministic (ShadowingSigmaDB == 0), keeping the
+	// dense O(N²) link matrix. Equivalence tests pin the sparse path
+	// against this.
+	ForceDenseLinks bool
 }
 
 // DefaultConfig returns the configuration used by the reproduction
@@ -139,10 +144,25 @@ type link struct {
 // poking Node.TxPower) invalidate it lazily, and with the network's
 // position epoch so node movement (MoveNode) invalidates it the same
 // way.
+//
+// Dense rows (the default, and the only mode under shadowing) fill
+// `to` with one link per node. Sparse rows (spatial culling, see
+// spatial.go) instead store parallel ids/ls slices holding only the
+// in-range neighborhood, plus extraIDs/extraLs for nodes added after
+// the row was built (mirroring the dense append in newNode), and the
+// transmitter position the row was computed at so culled interference
+// contributions can be recomputed on demand.
 type linkRow struct {
 	power float64
 	epoch uint64
 	to    []link
+
+	sparse   bool
+	ownerPos Position
+	ids      []int32
+	ls       []link
+	extraIDs []int32
+	extraLs  []link
 }
 
 // Network is a simulated 802.11b network.
@@ -163,6 +183,11 @@ type Network struct {
 	// posEpoch counts node moves; rows tagged with an older epoch
 	// rebuild lazily on next use (the same mechanism as the power tag).
 	posEpoch uint64
+	// sparse selects spatially-culled link rows + medium loops. Fixed
+	// at New: only deterministic radios (no shadowing) can cull without
+	// perturbing the per-delivery RNG stream. See spatial.go.
+	sparse bool
+	grid   *cellGrid
 
 	// Transmission pool (see medium.go).
 	txFree []*transmission
@@ -201,6 +226,7 @@ func New(cfg Config) *Network {
 		media:   make(map[phy.Channel]*medium),
 		byAddr:  make(map[dot11.Addr]*Node),
 		noiseMW: pow10(cfg.Env.NoiseFloorDBm / 10),
+		sparse:  cfg.Env.ShadowingSigmaDB == 0 && !cfg.ForceDenseLinks,
 	}
 }
 
@@ -263,8 +289,12 @@ func (n *Network) rowFor(node *Node) *linkRow {
 	if row.power != node.TxPower || row.epoch != n.posEpoch {
 		row.power = node.TxPower
 		row.epoch = n.posEpoch
-		for i, o := range n.nodes {
-			row.to[i] = n.linkFromTo(row.power, node, o)
+		if row.sparse {
+			n.buildSparseRow(row, node)
+		} else {
+			for i, o := range n.nodes {
+				row.to[i] = n.linkFromTo(row.power, node, o)
+			}
 		}
 	}
 	return row
@@ -312,13 +342,33 @@ func (n *Network) newNode(name string, pos Position, ch phy.Channel) *Node {
 	n.byAddr[node.Addr] = node
 	// Extend every existing transmitter's row toward the new node, at
 	// the power that row was computed at (lazy rebuild handles drift).
+	// Sparse rows mirror the dense append only when the link clears a
+	// floor: a below-both-floors entry is one the dense loops store
+	// only to skip (zero side effects), and an interference lookup
+	// that misses recomputes the same value from the row's positions —
+	// the exact inertness contract sparse misses already satisfy. So
+	// rows pinned by in-flight transmissions see mid-run churn
+	// identically in both modes, and adding N nodes costs O(N·k)
+	// stored links, not O(N²).
 	for i, row := range n.links {
-		row.to = append(row.to, n.linkFromTo(row.power, n.nodes[i], node))
+		if row.sparse {
+			if l := n.linkFromTo(row.power, n.nodes[i], node); l.sense || l.snr > 0 {
+				row.extraIDs = append(row.extraIDs, int32(node.ID))
+				row.extraLs = append(row.extraLs, l)
+			}
+		} else {
+			row.to = append(row.to, n.linkFromTo(row.power, n.nodes[i], node))
+		}
 	}
 	// Build the new node's own row.
-	row := &linkRow{power: node.TxPower, epoch: n.posEpoch, to: make([]link, len(n.nodes))}
-	for i, o := range n.nodes {
-		row.to[i] = n.linkFromTo(row.power, node, o)
+	row := &linkRow{power: node.TxPower, epoch: n.posEpoch, sparse: n.sparse}
+	if n.sparse {
+		n.buildSparseRow(row, node)
+	} else {
+		row.to = make([]link, len(n.nodes))
+		for i, o := range n.nodes {
+			row.to[i] = n.linkFromTo(row.power, node, o)
+		}
 	}
 	n.links = append(n.links, row)
 	n.mediumFor(ch).attach(node)
@@ -368,6 +418,10 @@ func (n *Network) MoveNode(node *Node, pos Position) {
 // by slice order) — the roaming target a client scanning all channels
 // would pick, since the shared log-distance environment makes rx
 // power monotone in distance. Returns nil for an empty slice.
+//
+// This is the compat wrapper for callers holding a bare AP slice; hot
+// roam paths should use Network.NearestAP (spatial.go), which answers
+// from the spatial index instead of scanning every AP.
 func NearestAP(aps []*Node, pos Position) *Node {
 	var best *Node
 	bestD := math.Inf(1)

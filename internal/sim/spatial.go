@@ -1,0 +1,375 @@
+package sim
+
+import "math"
+
+// This file breaks the O(N²) link matrix with spatial interference
+// culling: a uniform cell grid over node positions (rebuilt lazily off
+// the position epoch, the same invalidation contract the link rows
+// use) and sparse link rows that precompute links only to nodes within
+// interference range, cutting link-matrix memory from O(N²) to O(N·k)
+// and per-transmission medium work from O(N) to O(neighbors).
+//
+// Sparse mode engages when the radio is fully deterministic
+// (Env.ShadowingSigmaDB == 0 and Config.ForceDenseLinks unset). With
+// shadowing enabled, delivery draws one normal variate per candidate
+// receiver before any range check, so culling the candidate set would
+// shift the RNG stream; those networks keep the dense matrix
+// byte-for-byte — which is also what keeps the existing goldens
+// bit-identical. At σ = 0 a node beyond the cull radius is below both
+// the carrier-sense and the decode floor, so the dense loops skip it
+// with zero side effects and zero RNG draws; culling it is therefore
+// exact (spatial_test.go audits this against the dense computation).
+
+// spatialMargin pads the cull radius so floating-point rounding in the
+// log/pow round-trip can never re-admit a culled node: beyond
+// radius×margin the received power is decisively below both floors.
+const spatialMargin = 1.001
+
+// cullRadius returns the distance beyond which a transmitter at power
+// dBm is below both the carrier-sense threshold and the noise floor at
+// every receiver under the deterministic path loss.
+func (n *Network) cullRadius(power float64) float64 {
+	env := &n.cfg.Env
+	floor := env.NoiseFloorDBm
+	if env.CarrierSenseDBm < floor {
+		floor = env.CarrierSenseDBm
+	}
+	d := math.Pow(10, (power-env.RefLossDB-floor)/(10*env.PathLossExponent))
+	if d < 1 {
+		d = 1 // PathLossDB clamps distances below 1 m
+	}
+	return d
+}
+
+// cellGrid is a uniform bucket grid over node positions. The cell edge
+// is at least the cull radius of the strongest transmitter, so a
+// node's entire interference neighborhood is contained in the 3×3
+// block of cells around its own.
+type cellGrid struct {
+	epoch  uint64  // posEpoch the buckets were filled at
+	nnodes int     // node count at fill time (adds don't bump the epoch)
+	power  float64 // max transmit power the cell size covers
+	cell   float64 // cell edge length in meters
+	minX   float64
+	minY   float64
+	cols   int
+	rows   int
+	// buckets is row-major; each bucket lists its nodes in ID
+	// (creation) order, so merged neighborhoods sort cheaply.
+	buckets [][]*Node
+	builds  uint64 // lifetime rebuild count (snapshot witness)
+}
+
+// spatialIndex returns the cell grid, rebuilding it if any node moved
+// or was added since the last fill, or if power exceeds what the
+// current cell size covers (TPC or tests raising TxPower mid-run).
+func (n *Network) spatialIndex(power float64) *cellGrid {
+	g := n.grid
+	if g == nil {
+		g = &cellGrid{}
+		n.grid = g
+	}
+	if g.builds > 0 && g.epoch == n.posEpoch && g.nnodes == len(n.nodes) && power <= g.power {
+		return g
+	}
+	maxP := power
+	minX, minY := math.Inf(1), math.Inf(1)
+	maxX, maxY := math.Inf(-1), math.Inf(-1)
+	for _, o := range n.nodes {
+		if o.TxPower > maxP {
+			maxP = o.TxPower
+		}
+		minX, minY = math.Min(minX, o.Pos.X), math.Min(minY, o.Pos.Y)
+		maxX, maxY = math.Max(maxX, o.Pos.X), math.Max(maxY, o.Pos.Y)
+	}
+	if len(n.nodes) == 0 {
+		minX, minY, maxX, maxY = 0, 0, 0, 0
+	}
+	g.power = maxP
+	g.cell = n.cullRadius(maxP) * spatialMargin
+	g.minX, g.minY = minX, minY
+	g.cols = int((maxX-minX)/g.cell) + 1
+	g.rows = int((maxY-minY)/g.cell) + 1
+	need := g.cols * g.rows
+	if cap(g.buckets) < need {
+		g.buckets = make([][]*Node, need)
+	}
+	g.buckets = g.buckets[:need]
+	for i := range g.buckets {
+		g.buckets[i] = g.buckets[i][:0]
+	}
+	for _, o := range n.nodes { // ID order keeps each bucket ID-sorted
+		cx, cy := g.cellOf(o.Pos)
+		g.buckets[cy*g.cols+cx] = append(g.buckets[cy*g.cols+cx], o)
+	}
+	g.epoch = n.posEpoch
+	g.nnodes = len(n.nodes)
+	g.builds++
+	return g
+}
+
+// cellOf maps a position inside the index's bounding box to bucket
+// coordinates, clamped defensively against float edge rounding.
+func (g *cellGrid) cellOf(p Position) (cx, cy int) {
+	cx = int((p.X - g.minX) / g.cell)
+	cy = int((p.Y - g.minY) / g.cell)
+	if cx < 0 {
+		cx = 0
+	} else if cx >= g.cols {
+		cx = g.cols - 1
+	}
+	if cy < 0 {
+		cy = 0
+	} else if cy >= g.rows {
+		cy = g.rows - 1
+	}
+	return cx, cy
+}
+
+// cellAt maps an arbitrary position — possibly outside the bounding
+// box — to unclamped cell coordinates for ring searches.
+func (g *cellGrid) cellAt(p Position) (cx, cy int) {
+	return int(math.Floor((p.X - g.minX) / g.cell)), int(math.Floor((p.Y - g.minY) / g.cell))
+}
+
+// visitCell calls fn for every node bucketed in cell (cx, cy); cells
+// outside the grid are empty.
+func (g *cellGrid) visitCell(cx, cy int, fn func(*Node)) {
+	if cx < 0 || cx >= g.cols || cy < 0 || cy >= g.rows {
+		return
+	}
+	for _, o := range g.buckets[cy*g.cols+cx] {
+		fn(o)
+	}
+}
+
+// forRing visits every node bucketed in cells at Chebyshev distance r
+// from (cx, cy).
+func (g *cellGrid) forRing(cx, cy, r int, fn func(*Node)) {
+	if r == 0 {
+		g.visitCell(cx, cy, fn)
+		return
+	}
+	for x := cx - r; x <= cx+r; x++ {
+		g.visitCell(x, cy-r, fn)
+		g.visitCell(x, cy+r, fn)
+	}
+	for y := cy - r + 1; y <= cy+r-1; y++ {
+		g.visitCell(cx-r, y, fn)
+		g.visitCell(cx+r, y, fn)
+	}
+}
+
+// buildSparseRow fills row with links to every node in the 3×3 bucket
+// neighborhood of node's cell — a superset of all nodes within the
+// cull radius at this row's power — in ascending node-ID order.
+// Everything outside the neighborhood is below both the sense and
+// decode floors, exactly the entries the dense matrix stores only to
+// skip.
+func (n *Network) buildSparseRow(row *linkRow, node *Node) {
+	g := n.spatialIndex(row.power)
+	row.ownerPos = node.Pos
+	row.ids, row.ls = row.ids[:0], row.ls[:0]
+	row.extraIDs, row.extraLs = row.extraIDs[:0], row.extraLs[:0]
+	cx, cy := g.cellOf(node.Pos)
+	// Merge the up-to-nine ID-sorted buckets, computing links in the
+	// merged (ascending ID) order — the same per-pair linkFromTo calls
+	// the dense rebuild makes, so stored values are float-identical.
+	var runs [9][]*Node
+	nr := 0
+	for y := cy - 1; y <= cy+1; y++ {
+		if y < 0 || y >= g.rows {
+			continue
+		}
+		for x := cx - 1; x <= cx+1; x++ {
+			if x < 0 || x >= g.cols {
+				continue
+			}
+			if b := g.buckets[y*g.cols+x]; len(b) > 0 {
+				runs[nr] = b
+				nr++
+			}
+		}
+	}
+	for {
+		best := -1
+		for i := 0; i < nr; i++ {
+			if len(runs[i]) == 0 {
+				continue
+			}
+			if best < 0 || runs[i][0].ID < runs[best][0].ID {
+				best = i
+			}
+		}
+		if best < 0 {
+			break
+		}
+		o := runs[best][0]
+		runs[best] = runs[best][1:]
+		row.ids = append(row.ids, int32(o.ID))
+		row.ls = append(row.ls, n.linkFromTo(row.power, node, o))
+	}
+}
+
+// linkTo returns the stored link toward o and whether the row stores
+// one. A miss means o was outside the cull radius when the row was
+// built (or rebuilt last): below both the sense and decode floors.
+func (r *linkRow) linkTo(o *Node) (link, bool) {
+	if !r.sparse {
+		return r.to[o.ID], true
+	}
+	id := int32(o.ID)
+	lo, hi := 0, len(r.ids)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if r.ids[mid] < id {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(r.ids) && r.ids[lo] == id {
+		return r.ls[lo], true
+	}
+	for i, eid := range r.extraIDs {
+		if eid == id {
+			return r.extraLs[i], true
+		}
+	}
+	return link{}, false
+}
+
+// senses reports whether o's carrier sense detects this row's
+// transmitter. Culled entries never sense — the dense matrix stores
+// sense=false for them.
+func (r *linkRow) senses(o *Node) bool {
+	l, ok := r.linkTo(o)
+	return ok && l.sense
+}
+
+// mwTo returns the row's received power in milliwatts at o, for
+// interference sums. A culled pair still contributes its sub-floor
+// power (the dense sum includes every overlapped transmitter), so a
+// miss recomputes it from the row's pinned transmitter position.
+func (n *Network) mwTo(r *linkRow, o *Node) float64 {
+	if l, ok := r.linkTo(o); ok {
+		return l.mw
+	}
+	env := &n.cfg.Env
+	dBm := env.RxPowerDBm(r.power, r.ownerPos.Distance(o.Pos), nil)
+	return pow10(dBm / 10)
+}
+
+// snrTo returns the row's SNR toward o, recomputing the out-of-range
+// value from the row's pinned transmitter position when the sparse row
+// culled it — callers see the same number the dense matrix stores.
+func (n *Network) snrTo(r *linkRow, o *Node) float64 {
+	if l, ok := r.linkTo(o); ok {
+		return l.snr
+	}
+	env := &n.cfg.Env
+	return env.SNRdB(env.RxPowerDBm(r.power, r.ownerPos.Distance(o.Pos), nil))
+}
+
+// spCand is one in-range candidate of a culled medium loop, carrying
+// its precomputed link.
+type spCand struct {
+	o *Node
+	l link
+}
+
+// gatherCands collects row's stored neighbors that are attached to m
+// (excluding skip) into dst, ordered by medium attachment order — the
+// same set and order in which the dense loops visit nodes with nonzero
+// effect (everything else is below both floors and skipped there).
+func (m *medium) gatherCands(dst []spCand, row *linkRow, skip *Node) []spCand {
+	dst = dst[:0]
+	for i, id := range row.ids {
+		o := m.net.nodes[id]
+		if o == skip || o.medium != m {
+			continue
+		}
+		if l := row.ls[i]; l.sense || l.snr > 0 {
+			dst = append(dst, spCand{o, l})
+		}
+	}
+	for i, id := range row.extraIDs {
+		o := m.net.nodes[id]
+		if o == skip || o.medium != m {
+			continue
+		}
+		if l := row.extraLs[i]; l.sense || l.snr > 0 {
+			dst = append(dst, spCand{o, l})
+		}
+	}
+	// Insertion sort by attachment order. IDs ascend, which is
+	// creation order — already attachment order unless channel
+	// switches reordered the medium, so passes are near-linear.
+	for i := 1; i < len(dst); i++ {
+		c := dst[i]
+		j := i - 1
+		for j >= 0 && dst[j].o.mediumIdx > c.o.mediumIdx {
+			dst[j+1] = dst[j]
+			j--
+		}
+		dst[j+1] = c
+	}
+	return dst
+}
+
+// NearestAP returns the geometrically nearest AP to pos, answered from
+// the spatial index by expanding-ring search; ties break by node
+// creation order, matching the package-level linear scan over a
+// creation-ordered slice. The index carries all nodes and touches
+// neither the RNG nor the event queue, so calling this from dense-mode
+// networks leaves their traces bit-identical.
+func (n *Network) NearestAP(pos Position) *Node {
+	if len(n.nodes) == 0 {
+		return nil
+	}
+	g := n.spatialIndex(0)
+	cx, cy := g.cellAt(pos)
+	var best *Node
+	bestD := math.Inf(1)
+	for r := 0; ; r++ {
+		// Cells at Chebyshev ring r lie at least (r-1) cell edges from
+		// pos; once that exceeds the best distance no closer AP exists.
+		// The bound is strict, so rings that could hold an equidistant
+		// lower-ID AP are still scanned.
+		if best != nil && float64(r-1)*g.cell > bestD {
+			break
+		}
+		// Stop once the ring interior has swallowed the whole grid.
+		if cx-r+1 <= 0 && cx+r-1 >= g.cols-1 && cy-r+1 <= 0 && cy+r-1 >= g.rows-1 {
+			break
+		}
+		g.forRing(cx, cy, r, func(o *Node) {
+			if !o.IsAP {
+				return
+			}
+			if d := o.Pos.Distance(pos); d < bestD || (d == bestD && o.ID < best.ID) {
+				best, bestD = o, d
+			}
+		})
+	}
+	return best
+}
+
+// LinkStats forces every link row current and reports the matrix
+// population: row count, total stored directed links, and the longest
+// row — the O(N·k) versus O(N²) memory evidence the campus-scale
+// tests assert on. Dense mode stores N links per row.
+func (n *Network) LinkStats() (rows, links, maxRow int) {
+	for _, node := range n.nodes {
+		row := n.rowFor(node)
+		stored := len(row.to)
+		if row.sparse {
+			stored = len(row.ids) + len(row.extraIDs)
+		}
+		links += stored
+		if stored > maxRow {
+			maxRow = stored
+		}
+	}
+	return len(n.nodes), links, maxRow
+}

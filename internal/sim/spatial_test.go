@@ -1,0 +1,298 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"wlan80211/internal/phy"
+	"wlan80211/internal/rate"
+)
+
+// randomTwinNets builds two networks with an identical randomized
+// multi-cell topology — one spatially culled, one forced dense — and
+// returns them with the shared node layout applied to both.
+func randomTwinNets(seed int64, nAPs, nStations int, extent float64) (sp, dn *Network) {
+	mk := func(force bool) *Network {
+		cfg := DefaultConfig()
+		cfg.Seed = seed
+		cfg.Env.ShadowingSigmaDB = 0
+		// Campus attenuation: ~60 m cull radius, so the randomized
+		// extents below actually produce culled pairs.
+		cfg.Env.PathLossExponent = 4.0
+		cfg.ForceDenseLinks = force
+		return New(cfg)
+	}
+	sp, dn = mk(false), mk(true)
+	if !sp.sparse || dn.sparse {
+		panic("twin nets: mode selection broken")
+	}
+	rng := rand.New(rand.NewSource(seed * 7919))
+	chans := []phy.Channel{phy.Channel1, phy.Channel6, phy.Channel11}
+	pos := make([]Position, 0, nAPs+nStations)
+	for i := 0; i < nAPs; i++ {
+		pos = append(pos, Position{X: rng.Float64() * extent, Y: rng.Float64() * extent})
+	}
+	for i := 0; i < nStations; i++ {
+		pos = append(pos, Position{X: rng.Float64() * extent, Y: rng.Float64() * extent})
+	}
+	for _, n := range []*Network{sp, dn} {
+		var aps []*Node
+		for i := 0; i < nAPs; i++ {
+			aps = append(aps, n.AddAP(fmt.Sprintf("ap%d", i), pos[i], chans[i%len(chans)]))
+		}
+		for i := 0; i < nStations; i++ {
+			ap := aps[i%len(aps)]
+			n.AddStation(fmt.Sprintf("st%d", i), pos[nAPs+i], ap, rate.NewFixedFactory(phy.Rate11Mbps))
+		}
+	}
+	return sp, dn
+}
+
+// auditRows brute-force checks every directed pair: a link the sparse
+// row stores must equal the dense computation bit for bit, and a link
+// it culled must be below both the carrier-sense and decode floors in
+// the dense matrix (so the dense loops would skip it with zero
+// effect). Returns the number of culled pairs so callers can assert
+// the audit wasn't vacuous.
+func auditRows(t *testing.T, sp, dn *Network) (culled int) {
+	t.Helper()
+	if len(sp.nodes) != len(dn.nodes) {
+		t.Fatalf("twin drift: %d vs %d nodes", len(sp.nodes), len(dn.nodes))
+	}
+	for i := range sp.nodes {
+		srow := sp.rowFor(sp.nodes[i])
+		drow := dn.rowFor(dn.nodes[i])
+		for j := range dn.nodes {
+			want := drow.to[j]
+			got, ok := srow.linkTo(sp.nodes[j])
+			if !ok {
+				culled++
+				if want.sense || want.snr > 0 {
+					t.Fatalf("pair %d→%d culled but relevant: sense=%v snr=%v", i, j, want.sense, want.snr)
+				}
+				continue
+			}
+			if got != want {
+				t.Fatalf("pair %d→%d stored link diverges: got %+v want %+v", i, j, got, want)
+			}
+		}
+	}
+	return culled
+}
+
+// TestSparseRowsMatchDense is the culled-pair audit of the headline
+// bit-identity claim, on randomized topologies, through random node
+// movement, transmit-power raises (TPC-style, above the index's cell
+// sizing), and mid-run node additions against pinned rows.
+func TestSparseRowsMatchDense(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		sp, dn := randomTwinNets(seed, 6, 40, 400)
+		if c := auditRows(t, sp, dn); c == 0 {
+			t.Fatalf("seed %d: no culled pairs — audit is vacuous, shrink the extent", seed)
+		}
+		rng := rand.New(rand.NewSource(seed))
+		// Random walks: same moves on both twins, re-audit each epoch.
+		for step := 0; step < 10; step++ {
+			k := rng.Intn(len(sp.nodes))
+			p := Position{X: rng.Float64() * 400, Y: rng.Float64() * 400}
+			sp.MoveNode(sp.nodes[k], p)
+			dn.MoveNode(dn.nodes[k], p)
+			auditRows(t, sp, dn)
+		}
+		// A power raise beyond the grid's cell sizing must re-key the
+		// index (cells sized for 15 dBm are too small for 20).
+		sp.nodes[0].TxPower, dn.nodes[0].TxPower = 20, 20
+		auditRows(t, sp, dn)
+		// Mid-run adds append to rows pinned by in-flight transmissions
+		// — but only in-range appends are stored; inert (below-both-
+		// floors) newcomers are culled at the append, or row storage
+		// would creep back toward O(N²). Build a row first so the
+		// append path (extras) is what the audit sees for the new
+		// nodes: one planted in the pinned row's neighborhood (must be
+		// mirrored) and one far outside it (must be dropped).
+		prow := sp.rowFor(sp.nodes[1])
+		dn.rowFor(dn.nodes[1])
+		ap, dap := sp.nodes[0], dn.nodes[0]
+		near := Position{X: sp.nodes[1].Pos.X + 4, Y: sp.nodes[1].Pos.Y + 3}
+		sp.AddStation("late", near, ap, rate.NewFixedFactory(phy.Rate11Mbps))
+		dn.AddStation("late", near, dap, rate.NewFixedFactory(phy.Rate11Mbps))
+		if len(prow.extraIDs) != 1 {
+			t.Fatalf("mid-run add not mirrored into pinned sparse row: extras=%d", len(prow.extraIDs))
+		}
+		far := Position{X: sp.nodes[1].Pos.X + 700, Y: sp.nodes[1].Pos.Y + 700}
+		sp.AddStation("late2", far, ap, rate.NewFixedFactory(phy.Rate11Mbps))
+		dn.AddStation("late2", far, dap, rate.NewFixedFactory(phy.Rate11Mbps))
+		if len(prow.extraIDs) != 1 {
+			t.Fatalf("inert mid-run add not culled from pinned sparse row: extras=%d", len(prow.extraIDs))
+		}
+		auditRows(t, sp, dn)
+	}
+}
+
+// TestWaypointBucketMembership walks a node across bucket boundaries
+// and checks the index keeps it in exactly one bucket — the correct
+// one — at every position epoch.
+func TestWaypointBucketMembership(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Seed = 3
+	cfg.Env.ShadowingSigmaDB = 0
+	net := New(cfg)
+	ap := net.AddAP("ap", Position{X: 0, Y: 0}, phy.Channel1)
+	// Far corner spreads the bounding box over many cells.
+	net.AddAP("corner", Position{X: 500, Y: 500}, phy.Channel6)
+	mob := net.AddStation("mob", Position{X: 0, Y: 0}, ap, rate.NewFixedFactory(phy.Rate11Mbps))
+	net.StartWaypoints(mob, 10, phy.MicrosPerSecond/10,
+		Position{X: 490, Y: 10}, Position{X: 250, Y: 480}, Position{X: 10, Y: 10})
+	for step := 0; step < 200; step++ {
+		net.RunFor(phy.MicrosPerSecond / 10)
+		g := net.spatialIndex(0)
+		if g.epoch != net.posEpoch {
+			t.Fatalf("step %d: index stale after rebuild (epoch %d vs %d)", step, g.epoch, net.posEpoch)
+		}
+		found := 0
+		for ci, b := range g.buckets {
+			for _, o := range b {
+				if o == mob {
+					found++
+					cx, cy := g.cellOf(mob.Pos)
+					if ci != cy*g.cols+cx {
+						t.Fatalf("step %d: node at %+v bucketed in cell %d, want %d", step, mob.Pos, ci, cy*g.cols+cx)
+					}
+				}
+			}
+		}
+		if found != 1 {
+			t.Fatalf("step %d: node appears in %d buckets, want exactly 1", step, found)
+		}
+	}
+}
+
+// obsHash folds the over-the-air facts of every observation into one
+// order-sensitive FNV fold — two runs with equal hashes produced the
+// same frames at the same times with the same overlap structure.
+type obsHash struct{ h uint64 }
+
+func (o *obsHash) fold(v uint64) {
+	if o.h == 0 {
+		o.h = 14695981039346656037
+	}
+	o.h ^= v
+	o.h *= 1099511628211
+}
+
+func (o *obsHash) ObserveTransmission(obs TxObservation) {
+	o.fold(uint64(obs.Time))
+	o.fold(uint64(obs.End))
+	o.fold(uint64(obs.Channel))
+	o.fold(uint64(obs.Rate))
+	o.fold(uint64(obs.FromID))
+	o.fold(uint64(obs.WireLen))
+	o.fold(uint64(len(obs.Overlapped)))
+	for _, b := range obs.Frame {
+		o.fold(uint64(b))
+	}
+}
+
+// TestSpatialTraceMatchesDense runs the same multi-cell scenario —
+// traffic, mobility, index-served roaming, beacons, co-channel
+// interference — spatially culled and forced dense, and requires
+// bit-identical observation streams and ground-truth counters.
+func TestSpatialTraceMatchesDense(t *testing.T) {
+	run := func(force bool) (uint64, NetStats) {
+		cfg := DefaultConfig()
+		cfg.Seed = 11
+		cfg.Env.ShadowingSigmaDB = 0
+		cfg.Env.PathLossExponent = 4.0 // ~60 m cull radius: real culling
+		cfg.ForceDenseLinks = force
+		net := New(cfg)
+		chans := []phy.Channel{phy.Channel1, phy.Channel6, phy.Channel11, phy.Channel1}
+		var aps []*Node
+		for i := 0; i < 4; i++ {
+			p := Position{X: float64(i%2)*60 + 15, Y: float64(i/2)*60 + 15}
+			aps = append(aps, net.AddAP(fmt.Sprintf("ap%d", i), p, chans[i]))
+		}
+		mix := DefaultMix()
+		for i := 0; i < 12; i++ {
+			ap := aps[i%len(aps)]
+			p := Position{X: ap.Pos.X + float64(i%5)*4 - 8, Y: ap.Pos.Y + float64(i/5)*5 - 5}
+			st := net.AddStation(fmt.Sprintf("st%d", i), p, ap, rate.NewARFFactory())
+			net.StartTraffic(st, net.PickProfile(mix), 1.5)
+		}
+		mob := net.AddStation("mob", aps[0].Pos, aps[0], rate.NewARFFactory())
+		net.StartTraffic(mob, net.PickProfile(mix), 1.5)
+		net.StartWaypoints(mob, 8, phy.MicrosPerSecond/2,
+			Position{X: 75, Y: 15}, Position{X: 75, Y: 75}, Position{X: 15, Y: 15})
+		var roam func()
+		roam = func() {
+			if best := net.NearestAP(mob.Pos); best != nil && best != mob.AP {
+				net.Reassociate(mob, best)
+			}
+			net.Schedule(net.Now()+phy.MicrosPerSecond, roam)
+		}
+		net.Schedule(phy.MicrosPerSecond, roam)
+		var h obsHash
+		net.AddTap(&h)
+		net.RunFor(6 * phy.MicrosPerSecond)
+		return h.h, net.Stats
+	}
+	spH, spStats := run(false)
+	dnH, dnStats := run(true)
+	if spH == 0 {
+		t.Fatal("no observations — scenario is vacuous")
+	}
+	if spH != dnH {
+		t.Fatalf("spatially culled trace diverges from dense: %#x vs %#x", spH, dnH)
+	}
+	if spStats != dnStats {
+		t.Fatalf("stats diverge:\nsparse: %+v\ndense:  %+v", spStats, dnStats)
+	}
+}
+
+// TestNetworkNearestAPMatchesLinear compares the expanding-ring index
+// search against the linear scan on randomized layouts and on exact
+// equidistant ties (the linear scan's first-wins tie is creation
+// order, which the ring search must reproduce).
+func TestNetworkNearestAPMatchesLinear(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		cfg := DefaultConfig()
+		cfg.Seed = seed
+		cfg.Env.ShadowingSigmaDB = 0
+		net := New(cfg)
+		rng := rand.New(rand.NewSource(seed * 31))
+		var aps []*Node
+		for i := 0; i < 30; i++ {
+			p := Position{X: rng.Float64() * 800, Y: rng.Float64() * 800}
+			aps = append(aps, net.AddAP(fmt.Sprintf("ap%d", i), p, phy.Channel1))
+		}
+		for q := 0; q < 200; q++ {
+			// Sprinkle queries beyond the bounding box too.
+			p := Position{X: rng.Float64()*1000 - 100, Y: rng.Float64()*1000 - 100}
+			want := NearestAP(aps, p)
+			if got := net.NearestAP(p); got != want {
+				t.Fatalf("seed %d query %+v: index found %v, linear scan %v", seed, p, got, want)
+			}
+		}
+	}
+	// Exact tie: two APs mirrored around the query point.
+	cfg := DefaultConfig()
+	cfg.Env.ShadowingSigmaDB = 0
+	net := New(cfg)
+	a := net.AddAP("a", Position{X: 0, Y: 50}, phy.Channel1)
+	b := net.AddAP("b", Position{X: 100, Y: 50}, phy.Channel6)
+	aps := []*Node{a, b}
+	q := Position{X: 50, Y: 50}
+	if NearestAP(aps, q) != a {
+		t.Fatal("linear tie-break changed — update the index tie-break to match")
+	}
+	if got := net.NearestAP(q); got != a {
+		t.Fatalf("index tie-break picked %v, linear scan picks first-created", got)
+	}
+	if net.NearestAP(Position{X: 99, Y: 50}) != b {
+		t.Fatal("index missed the strictly nearer AP")
+	}
+	empty := New(cfg)
+	if empty.NearestAP(q) != nil {
+		t.Fatal("empty network must return nil")
+	}
+}

@@ -107,10 +107,29 @@ type MediumState struct {
 	Lingering []TxState
 }
 
-// LinkRowTag is one link-matrix row's lazy-invalidation tag.
+// LinkRowTag is one link-matrix row's lazy-invalidation tag plus its
+// stored population: dense rows store one link per node (Extras 0),
+// sparse rows store the culled neighborhood (Links) and the mid-run
+// node-add appends not yet folded in by a rebuild (Extras).
 type LinkRowTag struct {
-	Power float64
-	Epoch uint64
+	Power  float64
+	Epoch  uint64
+	Links  int
+	Extras int
+}
+
+// SpatialIndexState witnesses the spatial cell grid of sparse-mode
+// networks (zero-valued if the index has never been built). Like the
+// link-row tags it is a replay witness: the grid's geometry and
+// lifetime rebuild count are pure functions of the event history.
+type SpatialIndexState struct {
+	Epoch  uint64
+	Nodes  int
+	Power  float64
+	Cell   float64
+	Cols   int
+	Rows   int
+	Builds uint64
 }
 
 // NetworkState is the simulator's full serializable state.
@@ -128,6 +147,7 @@ type NetworkState struct {
 	Nodes      []NodeState
 	Media      []MediumState
 	LinkRows   []LinkRowTag
+	Index      SpatialIndexState
 }
 
 // CaptureState snapshots the network's complete numeric state. Call
@@ -147,7 +167,19 @@ func (n *Network) CaptureState() *NetworkState {
 		LinkRows:   make([]LinkRowTag, len(n.links)),
 	}
 	for i, row := range n.links {
-		st.LinkRows[i] = LinkRowTag{Power: row.power, Epoch: row.epoch}
+		tag := LinkRowTag{Power: row.power, Epoch: row.epoch}
+		if row.sparse {
+			tag.Links, tag.Extras = len(row.ids), len(row.extraIDs)
+		} else {
+			tag.Links = len(row.to)
+		}
+		st.LinkRows[i] = tag
+	}
+	if g := n.grid; g != nil {
+		st.Index = SpatialIndexState{
+			Epoch: g.epoch, Nodes: g.nnodes, Power: g.power, Cell: g.cell,
+			Cols: g.cols, Rows: g.rows, Builds: g.builds,
+		}
 	}
 	for i, node := range n.nodes {
 		st.Nodes[i] = node.captureState()

@@ -263,7 +263,16 @@ func EncodeNetworkState(st *sim.NetworkState) []byte {
 	for _, r := range st.LinkRows {
 		e.F64(r.Power)
 		e.U64(r.Epoch)
+		e.Int(r.Links)
+		e.Int(r.Extras)
 	}
+	e.U64(st.Index.Epoch)
+	e.Int(st.Index.Nodes)
+	e.F64(st.Index.Power)
+	e.F64(st.Index.Cell)
+	e.Int(st.Index.Cols)
+	e.Int(st.Index.Rows)
+	e.U64(st.Index.Builds)
 	return e.Bytes()
 }
 
@@ -297,9 +306,15 @@ func DecodeNetworkState(b []byte) (*sim.NetworkState, error) {
 	for i := 0; i < nm; i++ {
 		st.Media = append(st.Media, decodeMedium(d))
 	}
-	nr := d.Count(16)
+	nr := d.Count(18)
 	for i := 0; i < nr; i++ {
-		st.LinkRows = append(st.LinkRows, sim.LinkRowTag{Power: d.F64(), Epoch: d.U64()})
+		st.LinkRows = append(st.LinkRows, sim.LinkRowTag{
+			Power: d.F64(), Epoch: d.U64(), Links: d.Int(), Extras: d.Int(),
+		})
+	}
+	st.Index = sim.SpatialIndexState{
+		Epoch: d.U64(), Nodes: d.Int(), Power: d.F64(), Cell: d.F64(),
+		Cols: d.Int(), Rows: d.Int(), Builds: d.U64(),
 	}
 	return st, d.Finish()
 }

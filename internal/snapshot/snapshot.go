@@ -23,7 +23,10 @@ import (
 
 // Version is the container format version. Decoders reject any other
 // value: state layout changes must bump it.
-const Version = 1
+//
+// v2: NETW link-row tags carry stored-population counts and the
+// payload ends with the spatial index witness (sparse link matrix).
+const Version = 2
 
 const (
 	magic  = "WLSNAP"

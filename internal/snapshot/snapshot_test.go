@@ -95,7 +95,7 @@ func TestParseRejectsCorruption(t *testing.T) {
 func TestParseHostileLengths(t *testing.T) {
 	// A section header claiming more bytes than exist must be a clean
 	// truncation error, not an allocation or a panic.
-	hdr := append([]byte(magic), 1, 0) // version 1
+	hdr := append([]byte(magic), Version, 0) // current version
 	huge := append(hdr, []byte("META\xFF\xFF\xFF\xFF\xFF\xFF\xFF\xFF\x7F")...)
 	if _, err := Parse(huge); !errors.Is(err, ErrTruncated) {
 		t.Fatalf("hostile length error = %v", err)

@@ -101,3 +101,25 @@ func BenchmarkSimGrid(b *testing.B) {
 		b.ReportMetric(float64(built.Net.EventDeferrals())/float64(len(recs)), "evq_rearms/frame")
 	}
 }
+
+// BenchmarkSimGrid256 is the campus-scale tier (BENCH_8): the full
+// 16×16 grid, 1304 nodes, spatially-culled sparse links. Alongside
+// the event-queue metrics it reports the stored link density —
+// row_links/node ≈ the interference neighborhood k, the O(N·k) claim
+// in a number (dense would be N = 1304).
+func BenchmarkSimGrid256(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		built, err := Grid256().Build()
+		if err != nil {
+			b.Fatal(err)
+		}
+		recs := built.Run()
+		if len(recs) == 0 {
+			b.Fatal("empty trace")
+		}
+		reportEventQueueMetrics(b, built.Net, len(recs))
+		rows, links, _ := built.Net.LinkStats()
+		b.ReportMetric(float64(links)/float64(rows), "row_links/node")
+	}
+}

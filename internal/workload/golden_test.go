@@ -79,6 +79,16 @@ var goldenScenarios = map[string]func() []capture.Record{
 		}
 		return b.Run()
 	},
+	// grid256 runs under CampusEnvironment (σ = 0), so it pins the
+	// spatially-culled sparse-link path the other scenarios never
+	// take; half scale keeps it ~1 s while still >500 stations.
+	"grid256": func() []capture.Record {
+		b, err := Grid256().Scale(0.5).Build()
+		if err != nil {
+			panic(err)
+		}
+		return b.Run()
+	},
 }
 
 // goldenScenario is the fast scenario the stability and bench tests

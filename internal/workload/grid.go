@@ -50,6 +50,11 @@ type Grid struct {
 	RTSFraction float64
 	// Seed makes the scenario deterministic.
 	Seed int64
+	// Env overrides the radio environment (nil keeps the default).
+	// Campus-scale grids use CampusEnvironment: deterministic
+	// (shadowing-free) radios engage the simulator's spatial culling,
+	// which is what makes 16×16 feasible.
+	Env *phy.Environment
 }
 
 // DefaultGrid returns the 2×2 reference grid: four cells on three
@@ -82,6 +87,44 @@ func DenseGrid() Grid {
 	g.Spacing = 18
 	g.Seed = 19
 	return g
+}
+
+// CampusEnvironment is the outdoor/large-venue radio model of the
+// campus-scale grids: steeper log-distance attenuation (exponent 4 —
+// cluttered propagation between buildings and halls) and no lognormal
+// shadowing. σ = 0 makes the radio fully deterministic, which lets
+// the simulator cull interference spatially (sim sparse mode) instead
+// of evaluating every node pair per transmission.
+func CampusEnvironment() phy.Environment {
+	env := phy.DefaultEnvironment()
+	env.PathLossExponent = 4.0
+	env.ShadowingSigmaDB = 0
+	return env
+}
+
+// Grid256 returns the campus-scale 16×16 grid: 256 APs on the 1/6/11
+// reuse stripe, 1000+ stations (half dual-mode), two dozen mobiles
+// roaming the whole campus, and two sniffers per channel. It runs
+// under CampusEnvironment, so the simulator serves it from sparse
+// spatially-culled link rows — per-transmission work scales with the
+// ~100-node interference neighborhood, not the ~1300-node campus.
+func Grid256() Grid {
+	env := CampusEnvironment()
+	return Grid{
+		Rows: 16, Cols: 16,
+		Spacing:            40,
+		StationsPerCell:    4,
+		MobileStations:     24,
+		GFraction:          0.5,
+		Load:               1.0,
+		DurationSec:        12,
+		SniffersPerChannel: 2,
+		RoamSec:            2,
+		SpeedMPS:           3,
+		RTSFraction:        0.05,
+		Seed:               29,
+		Env:                &env,
+	}
 }
 
 // Scale shrinks or grows the grid's duration and population together,
@@ -146,6 +189,9 @@ func (g Grid) Build() (*GridBuilt, error) {
 	}
 	cfg := sim.DefaultConfig()
 	cfg.Seed = g.Seed
+	if g.Env != nil {
+		cfg.Env = *g.Env
+	}
 	net := sim.New(cfg)
 	b := &GridBuilt{Net: net, Grid: g}
 
@@ -208,13 +254,16 @@ func (g Grid) Build() (*GridBuilt, error) {
 	}
 
 	// Roaming: every RoamSec, each mobile reassociates to the nearest
-	// AP (1 m hysteresis keeps equidistant pairs from flapping).
+	// AP (1 m hysteresis keeps equidistant pairs from flapping). The
+	// lookup comes from the network's spatial index — O(neighborhood)
+	// per mobile instead of scanning all APs, with the same
+	// creation-order tie-break as the linear scan.
 	if g.RoamSec > 0 && len(b.Mobiles) > 0 {
 		interval := phy.Micros(g.RoamSec) * phy.MicrosPerSecond
 		var roam func()
 		roam = func() {
 			for _, st := range b.Mobiles {
-				best := sim.NearestAP(b.APs, st.Pos)
+				best := net.NearestAP(st.Pos)
 				if best != nil && best != st.AP && best.Pos.Distance(st.Pos)+1 < st.AP.Pos.Distance(st.Pos) {
 					net.Reassociate(st, best)
 				}

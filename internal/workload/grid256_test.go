@@ -1,0 +1,39 @@
+package workload
+
+import "testing"
+
+// TestGrid256SparseRowLengths pins the O(N·k) link-matrix claim on the
+// campus grid: every row must hold only its interference neighborhood,
+// a small fraction of the node count (a dense matrix stores N links in
+// every row).
+func TestGrid256SparseRowLengths(t *testing.T) {
+	b, err := Grid256().Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, links, maxRow := b.Net.LinkStats()
+	if rows < 1300 {
+		t.Fatalf("campus grid shrank: %d nodes, want ≥1300", rows)
+	}
+	if maxRow >= rows/4 {
+		t.Fatalf("rows are not sparse: longest row %d of %d nodes", maxRow, rows)
+	}
+	avg := float64(links) / float64(rows)
+	if avg >= float64(rows)/8 {
+		t.Fatalf("average row %.1f links is not ≪ %d nodes", avg, rows)
+	}
+	t.Logf("N=%d: avg row %.1f links, max %d (dense would be %d per row)", rows, avg, maxRow, rows)
+}
+
+// TestGrid256StationCount pins the scenario's headline population:
+// 16×16 APs and 1000+ stations.
+func TestGrid256StationCount(t *testing.T) {
+	g := Grid256()
+	if g.Cells() != 256 {
+		t.Fatalf("cells = %d, want 256", g.Cells())
+	}
+	stations := g.Cells()*g.StationsPerCell + g.MobileStations
+	if stations < 1000 {
+		t.Fatalf("stations = %d, want ≥1000", stations)
+	}
+}
