@@ -27,9 +27,13 @@ func (r Regression) String() string {
 // value by more than tolerance (0.15 = +15%). Benchmarks present in
 // only one document are ignored — CI steps produce subsets of the
 // committed baselines — but an empty intersection is an error so a
-// renamed baseline cannot turn the gate into a no-op. Comparisons are
-// returned in stable name order alongside the number of benchmarks
-// compared.
+// renamed baseline cannot turn the gate into a no-op. A baseline
+// entry with 0 or NaN ns/op is an error too — no real benchmark is
+// instant, so such an entry means a corrupted or hand-mangled
+// baseline, and dividing by it would either NaN-poison the ratio
+// (silently passing the gate) or flag a phantom +Inf regression.
+// Comparisons are returned in stable name order alongside the number
+// of benchmarks compared.
 func compare(old, new *Output, tolerance float64) (regs []Regression, compared int, err error) {
 	names, baseline, current, err := intersect(old, new)
 	if err != nil {
@@ -37,8 +41,8 @@ func compare(old, new *Output, tolerance float64) (regs []Regression, compared i
 	}
 	exceeds := func(oldV, newV float64) (float64, bool) {
 		if oldV == 0 {
-			// A benchmark that was allocation-free (or instant) and no
-			// longer is regresses at any tolerance.
+			// A benchmark that was allocation-free and no longer is
+			// regresses at any tolerance.
 			return math.Inf(1), newV > 0
 		}
 		ratio := newV / oldV
@@ -46,6 +50,15 @@ func compare(old, new *Output, tolerance float64) (regs []Regression, compared i
 	}
 	for _, name := range names {
 		o, n := baseline[name], current[name]
+		if o.NsPerOp <= 0 || math.IsNaN(o.NsPerOp) {
+			return nil, 0, fmt.Errorf("baseline %s reports invalid ns/op %v: baseline is corrupt, refusing to gate against it", name, o.NsPerOp)
+		}
+		if n.NsPerOp <= 0 || math.IsNaN(n.NsPerOp) {
+			return nil, 0, fmt.Errorf("current run %s reports invalid ns/op %v: refusing to compare", name, n.NsPerOp)
+		}
+		if o.AllocsPerOp != nil && math.IsNaN(*o.AllocsPerOp) {
+			return nil, 0, fmt.Errorf("baseline %s reports NaN allocs/op: baseline is corrupt, refusing to gate against it", name)
+		}
 		compared++
 		if ratio, bad := exceeds(o.NsPerOp, n.NsPerOp); bad {
 			regs = append(regs, Regression{Name: name, Metric: "ns/op", Old: o.NsPerOp, New: n.NsPerOp, Ratio: ratio})

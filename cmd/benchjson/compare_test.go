@@ -2,6 +2,7 @@ package main
 
 import (
 	"bufio"
+	"math"
 	"strings"
 	"testing"
 )
@@ -70,6 +71,34 @@ func TestCompareZeroAllocBaselineIsStrict(t *testing.T) {
 	}
 	if len(regs) != 1 || regs[0].Metric != "allocs/op" {
 		t.Fatalf("regressions = %v, want one allocs/op regression", regs)
+	}
+}
+
+func TestCompareRejectsInvalidBaseline(t *testing.T) {
+	// A zeroed baseline entry must fail the gate loudly — dividing by
+	// it would either flag a phantom +Inf regression or, via NaN,
+	// silently pass.
+	cur := doc(Result{Name: "BenchmarkX", NsPerOp: 1000, AllocsPerOp: fp(10)})
+	for _, bad := range []float64{0, math.NaN(), -5} {
+		old := doc(Result{Name: "BenchmarkX", NsPerOp: bad, AllocsPerOp: fp(10)})
+		if _, _, err := compare(old, cur, 0.15); err == nil {
+			t.Fatalf("baseline ns/op=%v did not error", bad)
+		}
+	}
+	// NaN allocs in the baseline: NaN > threshold is always false, so
+	// without the explicit check any alloc regression would pass.
+	old := doc(Result{Name: "BenchmarkX", NsPerOp: 1000, AllocsPerOp: fp(math.NaN())})
+	if _, _, err := compare(old, cur, 0.15); err == nil {
+		t.Fatal("baseline NaN allocs/op did not error")
+	}
+	// And a broken current run must not sneak past either.
+	old = doc(Result{Name: "BenchmarkX", NsPerOp: 1000})
+	if _, _, err := compare(old, doc(Result{Name: "BenchmarkX", NsPerOp: math.NaN()}), 0.15); err == nil {
+		t.Fatal("current NaN ns/op did not error")
+	}
+	// Valid baselines still compare cleanly.
+	if _, compared, err := compare(old, cur, 0.15); err != nil || compared != 1 {
+		t.Fatalf("valid baseline failed: compared=%d err=%v", compared, err)
 	}
 }
 

@@ -1,0 +1,257 @@
+package phy
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// This file implements quantized FER tables: precomputed per-(rate,
+// SNR-quantum, length-quantum) frame error rates that answer the hot
+// per-delivery question — "does this uniform draw u land below
+// FER(snr, length, rate)?" — without the exp/pow transcendental math
+// of the analytic model on the vast majority of calls.
+//
+// The design is exact, not approximate. FER is monotone: it falls as
+// SNR rises and rises with frame length, so the exact value for any
+// (snr, length) is bracketed by the table entries at the enclosing
+// SNR-bin and length-bin edges. A delivery draw u outside the bracket
+// is decided purely from the table; a draw inside it falls back to the
+// full analytic FER. The quantum therefore never changes simulated
+// behaviour — traces stay bit-identical to the direct evaluation at
+// ANY resolution — it only moves the fallback frequency, i.e. how
+// often the transcendental math still runs. (The exact-zero fast path
+// of ferZeroSNRdB bounds the table domain from above: beyond each
+// rate's threshold no table is consulted at all.)
+//
+// Tables are shared process-wide per quantum (FER is a pure function
+// of snr/length/rate, independent of the radio environment), so the
+// build cost of a column amortizes across every Network, sniffer, and
+// experiment run in the process. Columns are built lazily per
+// (rate, length-edge) under a mutex and published copy-on-write
+// through an atomic pointer; lookups are two slice indexes and never
+// block.
+
+// DefaultFERQuantumDB is the default SNR bin width of shared FER
+// tables: fine enough that bracket fallbacks are rare across the
+// waterfall region, coarse enough that a column is a few hundred
+// entries.
+const DefaultFERQuantumDB = 0.25
+
+// ferLenStepBytes is the frame-length bin width. Control frames (ACK,
+// CTS at 14 bytes; RTS at 20) land in the first bin, data frames span
+// a handful of bins; a finer step narrows brackets (fewer exact
+// fallbacks) at the cost of more lazily-built columns.
+const ferLenStepBytes = 16
+
+// ferGuard widens the table bracket before a decision is trusted, so
+// ulp-level wobble between a column entry (FER evaluated at a bin
+// edge) and the analytic FER at an interior point can never flip an
+// outcome the exact path would decide differently. FER's factors are
+// built from faithfully-rounded Exp/Pow, so their true error is a few
+// ulps (~1e-16 relative); the margin here is seven orders of magnitude
+// wider and still vanishingly unlikely to catch a uniform draw.
+func ferGuard(fer float64) float64 { return 1e-12 + 1e-9*fer }
+
+// ferRateIndex maps every valid Rate to a dense table index.
+var ferRateIndex = map[Rate]int{
+	Rate1Mbps: 0, Rate2Mbps: 1, Rate5_5Mbps: 2, Rate11Mbps: 3,
+	Rate6Mbps: 4, Rate9Mbps: 5, Rate12Mbps: 6, Rate18Mbps: 7,
+	Rate24Mbps: 8, Rate36Mbps: 9, Rate48Mbps: 10, Rate54Mbps: 11,
+}
+
+const ferNumRates = 12
+
+// ferColumn holds exact FER values for one (rate, length-edge) pair at
+// every SNR-bin edge: fer[i] = FER(i·quantum, lenBytes, rate).
+// Entries at or beyond the rate's zero threshold are exactly 0.
+// Columns are immutable once published.
+type ferColumn struct {
+	fer []float64
+}
+
+// ferTableState is the immutable published state of a table:
+// cols[rateIdx][lenEdge] is nil until that column has been built.
+type ferTableState struct {
+	cols [ferNumRates][]*ferColumn
+}
+
+// FERTable answers frame-error Bernoulli decisions from quantized
+// exact-FER columns with an exact-math fallback for draws that land
+// inside a bracket. The zero value is not usable; construct with
+// NewFERTable or SharedFERTable. A table is safe for concurrent use.
+type FERTable struct {
+	quantumDB float64
+	inv       float64 // 1 / quantumDB
+
+	mu    sync.Mutex // serializes column builds
+	state atomic.Pointer[ferTableState]
+}
+
+// NewFERTable returns an empty table with the given SNR bin width in
+// dB (values <= 0 select DefaultFERQuantumDB). Columns populate
+// lazily as (rate, length) pairs are first queried.
+func NewFERTable(quantumDB float64) *FERTable {
+	if quantumDB <= 0 {
+		quantumDB = DefaultFERQuantumDB
+	}
+	t := &FERTable{quantumDB: quantumDB, inv: 1 / quantumDB}
+	t.state.Store(&ferTableState{})
+	return t
+}
+
+// QuantumDB returns the table's SNR bin width in dB.
+func (t *FERTable) QuantumDB() float64 { return t.quantumDB }
+
+// sharedTables is the process-wide table registry, keyed by quantum.
+var (
+	sharedMu     sync.Mutex
+	sharedTables = map[float64]*FERTable{}
+)
+
+// SharedFERTable returns the process-wide table for the given quantum
+// (<= 0 selects DefaultFERQuantumDB), creating it on first use. All
+// simulations and sniffers sharing a quantum share one lazily-built
+// column set, so steady-state runs build no columns at all.
+func SharedFERTable(quantumDB float64) *FERTable {
+	if quantumDB <= 0 {
+		quantumDB = DefaultFERQuantumDB
+	}
+	sharedMu.Lock()
+	defer sharedMu.Unlock()
+	t, ok := sharedTables[quantumDB]
+	if !ok {
+		t = NewFERTable(quantumDB)
+		sharedTables[quantumDB] = t
+	}
+	return t
+}
+
+// FERLookup is one (rate, wire length) slice through a table: the two
+// length-edge columns enclosing the length, plus the cached zero
+// threshold. It is a value type fetched once per transmission and
+// consulted once per receiver.
+type FERLookup struct {
+	lo, hi    []float64 // columns at the enclosing length edges (lo <= len <= hi)
+	inv       float64
+	zeroSNRdB float64
+	lenBytes  int
+	rate      Rate
+}
+
+// Lookup returns the decision slice for frames of lengthBytes at rate
+// r, building the two enclosing length-edge columns if this is the
+// first query for them.
+func (t *FERTable) Lookup(lengthBytes int, r Rate) FERLookup {
+	if lengthBytes < 0 {
+		lengthBytes = 0
+	}
+	ri, ok := ferRateIndex[r]
+	if !ok {
+		// Unknown rate: BER is 1, FER is 1 — no columns; Lost falls
+		// back to the exact formula.
+		return FERLookup{zeroSNRdB: math.Inf(1), lenBytes: lengthBytes, rate: r}
+	}
+	loEdge := lengthBytes / ferLenStepBytes
+	hiEdge := (lengthBytes + ferLenStepBytes - 1) / ferLenStepBytes
+	st := t.state.Load()
+	var lo, hi *ferColumn
+	if cols := st.cols[ri]; hiEdge < len(cols) {
+		lo, hi = cols[loEdge], cols[hiEdge]
+	}
+	if lo == nil || hi == nil {
+		lo, hi = t.buildColumns(ri, r, loEdge, hiEdge)
+	}
+	return FERLookup{
+		lo: lo.fer, hi: hi.fer, inv: t.inv,
+		zeroSNRdB: ferZeroSNRdB(r), lenBytes: lengthBytes, rate: r,
+	}
+}
+
+// buildColumns computes (and publishes copy-on-write) the columns for
+// the two length edges, returning them. Racing builders are
+// serialized by mu; losers reuse the winner's columns.
+func (t *FERTable) buildColumns(ri int, r Rate, loEdge, hiEdge int) (lo, hi *ferColumn) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	st := t.state.Load()
+	next := &ferTableState{cols: st.cols}
+	cols := next.cols[ri]
+	if hiEdge >= len(cols) {
+		grown := make([]*ferColumn, hiEdge+1)
+		copy(grown, cols)
+		cols = grown
+	} else {
+		cols = append([]*ferColumn(nil), cols...)
+	}
+	for _, e := range [2]int{loEdge, hiEdge} {
+		if cols[e] == nil {
+			cols[e] = t.buildColumn(r, e*ferLenStepBytes)
+		}
+	}
+	next.cols[ri] = cols
+	t.state.Store(next)
+	return cols[loEdge], cols[hiEdge]
+}
+
+// buildColumn evaluates the exact analytic FER at every SNR-bin edge
+// from 0 dB up to just past the rate's zero threshold, for one frame
+// length.
+func (t *FERTable) buildColumn(r Rate, lenBytes int) *ferColumn {
+	edges := int(math.Ceil(ferZeroSNRdB(r)*t.inv)) + 2
+	c := &ferColumn{fer: make([]float64, edges)}
+	for i := range c.fer {
+		c.fer[i] = FER(float64(i)*t.quantumDB, lenBytes, r)
+	}
+	// The bracket logic relies on the column being non-increasing;
+	// FER's analytic form is monotone in SNR, so this is a build-time
+	// sanity assertion, not a runtime concern.
+	if !sort.SliceIsSorted(c.fer, func(a, b int) bool { return c.fer[a] > c.fer[b] }) &&
+		!isNonIncreasing(c.fer) {
+		panic("phy: FER column not monotone")
+	}
+	return c
+}
+
+func isNonIncreasing(v []float64) bool {
+	for i := 1; i < len(v); i++ {
+		if v[i] > v[i-1] {
+			return false
+		}
+	}
+	return true
+}
+
+// Lost reports whether a frame is lost to residual bit errors — the
+// exact same outcome as `u < FER(snrDB, lenBytes, rate)` with u drawn
+// uniformly from [0, 1) — deciding from the quantized bracket when u
+// falls clear of it and from the analytic FER when it does not.
+func (l FERLookup) Lost(u, snrDB float64) bool {
+	if snrDB >= l.zeroSNRdB {
+		return false // FER is exactly 0 (ferZeroSNRdB fast path)
+	}
+	if snrDB < 0 || l.lo == nil {
+		// Below the table domain (callers gate on snr > 0; sniffers can
+		// stray below) or an unknown rate: exact path.
+		return u < FER(snrDB, l.lenBytes, l.rate)
+	}
+	i := int(snrDB * l.inv)
+	if i+1 >= len(l.lo) {
+		// Unreachable: snrDB < zeroSNRdB keeps i inside the column.
+		// Defensive against float edge rounding.
+		return u < FER(snrDB, l.lenBytes, l.rate)
+	}
+	// FER is monotone (falls with SNR, rises with length), so the
+	// exact value is bracketed by [lo at the upper SNR edge, hi at the
+	// lower SNR edge].
+	ferMin := l.lo[i+1]
+	ferMax := l.hi[i]
+	if u < ferMin-ferGuard(ferMin) {
+		return true
+	}
+	if u >= ferMax+ferGuard(ferMax) {
+		return false
+	}
+	return u < FER(snrDB, l.lenBytes, l.rate)
+}

@@ -131,8 +131,8 @@ func ofdmGain(r Rate) float64 {
 }
 
 // berLinear is BER with the SNR already converted to linear scale, so
-// a caller evaluating several rates at one SNR (FER does: PLCP at
-// 1 Mbps plus the body rate) pays for the dB→linear Pow once.
+// a caller evaluating several rates at one SNR (FER does: the header
+// rate plus the body rate) pays for the dB→linear Pow once.
 func berLinear(snr float64, r Rate) float64 {
 	var ebn0 float64
 	switch r {
@@ -174,12 +174,19 @@ func berLinear(snr float64, r Rate) float64 {
 
 // ferZeroSNRdB returns the SNR above which FER provably evaluates to
 // exactly 0.0 at double precision for rate r, so callers can skip the
-// transcendental math. Above the threshold both the PLCP and body
+// transcendental math. Above the threshold both the header and body
 // exponents satisfy c·snr_lin ≥ 40 > 53·ln2, making each BER smaller
 // than 2⁻⁵⁴; then 1-BER rounds to exactly 1.0, Pow(1, n) is exactly
 // 1.0, and 1 - 1·1 is exactly 0 — the same value the full computation
 // produces. The thresholds carry ≈8% margin over the rounding
 // boundary, far beyond any ulp error in Pow.
+//
+// Each DSSS/CCK body threshold dominates the 6.0 dB threshold of its
+// 1 Mbps PLCP header; each OFDM body threshold dominates the 10.4 dB
+// threshold of its 6 Mbps SIGNAL field (equal for 6 Mbps itself), so a
+// single per-rate comparison covers both factors. The FER table
+// builder and the boundary test in radio_fastpath_test.go rely on
+// these exact values.
 func ferZeroSNRdB(r Rate) float64 {
 	switch r {
 	case Rate1Mbps:
@@ -192,7 +199,7 @@ func ferZeroSNRdB(r Rate) float64 {
 		return 19.5 // 0.5·snr_lin ≥ 40
 	}
 	// OFDM rates: gain·snr_lin ≥ 40 at 10·log10(40/gain) dB; the same
-	// ≈8% margin. All thresholds dominate the 1 Mbps PLCP threshold.
+	// ≈8% margin.
 	switch r {
 	case Rate6Mbps:
 		return 10.4 // 4.0·snr_lin ≥ 40 at 10.0 dB
@@ -214,21 +221,43 @@ func ferZeroSNRdB(r Rate) float64 {
 	return math.Inf(1) // unknown rate: BER is 1, no fast path
 }
 
+// PLCP header models: a DSSS/CCK frame carries a 48-bit PLCP header
+// always sent at 1 Mbps (long preamble); an ERP-OFDM frame instead
+// carries a 24-bit SIGNAL field encoded with the 6 Mbps parameters
+// (BPSK rate-1/2), so its header error rate follows the 6 Mbps BER
+// curve.
+const (
+	dsssHeaderBits = 48
+	ofdmSignalBits = 24
+)
+
+// headerOKLinear returns the probability that the PLCP header of a
+// frame at rate r survives, with the SNR already in linear scale:
+// the 48-bit 1 Mbps header for DSSS/CCK rates, the 24-bit 6 Mbps
+// SIGNAL field for ERP-OFDM rates.
+func headerOKLinear(snr float64, r Rate) float64 {
+	if r.OFDM() {
+		return math.Pow(1-berLinear(snr, Rate6Mbps), ofdmSignalBits)
+	}
+	return math.Pow(1-berLinear(snr, Rate1Mbps), dsssHeaderBits)
+}
+
 // FER returns the frame error rate for a frame of lengthBytes
 // transmitted at rate r and received at snrDB, assuming independent
-// bit errors: 1 - (1-BER)^bits. The PLCP header (always 1 Mbps) is
-// included at its own, much lower, error rate.
+// bit errors: 1 - (1-BER)^bits. The PLCP header (1 Mbps for DSSS/CCK,
+// the 6 Mbps SIGNAL field for ERP-OFDM) is included at its own, much
+// lower, error rate.
 func FER(snrDB float64, lengthBytes int, r Rate) float64 {
 	if lengthBytes < 0 {
 		lengthBytes = 0
 	}
 	if snrDB >= ferZeroSNRdB(r) {
-		// All rate thresholds dominate the 1 Mbps PLCP threshold, so
-		// both factors below are exactly 1 and FER is exactly 0.
+		// Every rate threshold dominates its header threshold, so both
+		// factors below are exactly 1 and FER is exactly 0.
 		return 0
 	}
 	snr := math.Pow(10, snrDB/10)
-	plcpOK := math.Pow(1-berLinear(snr, Rate1Mbps), 48) // 6-byte PLCP header
+	plcpOK := headerOKLinear(snr, r)
 	bodyOK := math.Pow(1-berLinear(snr, r), float64(lengthBytes*8))
 	return 1 - plcpOK*bodyOK
 }

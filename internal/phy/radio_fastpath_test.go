@@ -6,13 +6,20 @@ import (
 )
 
 // ferFull is the FER formula without the zero fast path, for proving
-// the fast path returns bit-identical values.
+// the fast path returns bit-identical values. It mirrors the per-family
+// PLCP models: 48-bit 1 Mbps header for DSSS/CCK, 24-bit 6 Mbps SIGNAL
+// field for ERP-OFDM.
 func ferFull(snrDB float64, lengthBytes int, r Rate) float64 {
 	if lengthBytes < 0 {
 		lengthBytes = 0
 	}
 	snr := math.Pow(10, snrDB/10)
-	plcpOK := math.Pow(1-berLinear(snr, Rate1Mbps), 48)
+	var plcpOK float64
+	if r.OFDM() {
+		plcpOK = math.Pow(1-berLinear(snr, Rate6Mbps), 24)
+	} else {
+		plcpOK = math.Pow(1-berLinear(snr, Rate1Mbps), 48)
+	}
 	bodyOK := math.Pow(1-berLinear(snr, r), float64(lengthBytes*8))
 	return 1 - plcpOK*bodyOK
 }
@@ -37,6 +44,64 @@ func TestFERFastPathBitIdentical(t *testing.T) {
 						snr, n, r, got, thr)
 				}
 			}
+		}
+	}
+}
+
+// TestFERZeroBoundary exhaustively audits every rate's ferZeroSNRdB
+// threshold against the per-family header models: FER must be exactly
+// 0.0 at and above the threshold (the fast path and the FER table
+// builder both rely on this), and strictly positive a margin below it.
+// The margin is 1.0 dB: at threshold−0.5 the 1 Mbps exponent
+// (11·snr_lin ≈ 39) can still round (1−BER) to exactly 1.0, so 0.5 dB
+// is inside the rounding boundary's slack; 1.0 dB is comfortably
+// outside it for every rate.
+func TestFERZeroBoundary(t *testing.T) {
+	lengths := []int{0, 14, 1500, 2346}
+	for _, r := range append(Rates[:], GRates[:]...) {
+		thr := ferZeroSNRdB(r)
+		for _, above := range []float64{0, 0.25, 5, 20} {
+			for _, n := range lengths {
+				if got := FER(thr+above, n, r); got != 0 {
+					t.Errorf("FER(%v+%v, %d, %v) = %g, want exactly 0", thr, above, n, r, got)
+				}
+			}
+		}
+		if got := FER(thr-1.0, 1500, r); !(got > 0) {
+			t.Errorf("FER(%v-1.0, 1500, %v) = %g, want > 0", thr, r, got)
+		}
+		// Header dominance: at the body threshold the header factor must
+		// itself already be exactly 1, otherwise the single per-rate
+		// comparison in FER's fast path would be wrong. Checked at the
+		// threshold with zero body bits so only the header contributes.
+		if got := FER(thr, 0, r); got != 0 {
+			t.Errorf("header factor at threshold: FER(%v, 0, %v) = %g, want exactly 0", thr, r, got)
+		}
+	}
+}
+
+// TestOFDMHeaderModel pins the OFDM PLCP fix: an ERP-OFDM frame's
+// header follows the 24-bit 6 Mbps SIGNAL-field model, not the 48-bit
+// DSSS header, so a zero-length OFDM frame's FER equals
+// 1-(1-BER6)^24 and differs from the old 1 Mbps model.
+func TestOFDMHeaderModel(t *testing.T) {
+	const snrDB = 5.0
+	snr := math.Pow(10, snrDB/10)
+	for _, r := range GRates {
+		want := 1 - math.Pow(1-berLinear(snr, Rate6Mbps), 24)
+		if got := FER(snrDB, 0, r); got != want {
+			t.Errorf("FER(%v, 0, %v) = %g, want SIGNAL-field model %g", snrDB, r, got, want)
+		}
+		old := 1 - math.Pow(1-berLinear(snr, Rate1Mbps), 48)
+		if got := FER(snrDB, 0, r); got == old {
+			t.Errorf("FER(%v, 0, %v) still matches the old DSSS header model", snrDB, r)
+		}
+	}
+	// DSSS/CCK rates keep the 48-bit 1 Mbps header.
+	for _, r := range Rates {
+		want := 1 - math.Pow(1-berLinear(snr, Rate1Mbps), 48)
+		if got := FER(snrDB, 0, r); got != want {
+			t.Errorf("FER(%v, 0, %v) = %g, want DSSS header model %g", snrDB, r, got, want)
 		}
 	}
 }

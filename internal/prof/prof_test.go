@@ -1,0 +1,146 @@
+package prof
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestStartWritesBothProfiles runs a short profiled section and checks
+// both files exist and are non-empty after stop.
+func TestStartWritesBothProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	stop, err := Start(cpu, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Burn a little CPU and allocate so the profiles have samples to
+	// record (emptiness of the *files* is what we assert, not samples).
+	sink := 0
+	for i := 0; i < 1e6; i++ {
+		sink += i % 7
+	}
+	_ = sink
+	buf := make([][]byte, 64)
+	for i := range buf {
+		buf[i] = make([]byte, 1024)
+	}
+	_ = buf
+	stop()
+	for _, p := range []string{cpu, mem} {
+		fi, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile %s not created: %v", p, err)
+		}
+		if fi.Size() == 0 {
+			t.Fatalf("profile %s is empty", p)
+		}
+	}
+}
+
+// TestStopIdempotent mirrors the CLI usage — stop deferred AND called
+// explicitly before an exit site — and checks the double flush neither
+// panics nor truncates the already-written profiles.
+func TestStopIdempotent(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	stop, err := Start(cpu, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop() // explicit early-exit flush
+	size := func(p string) int64 {
+		fi, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("stat %s: %v", p, err)
+		}
+		return fi.Size()
+	}
+	cpuSize, memSize := size(cpu), size(mem)
+	if memSize == 0 {
+		t.Fatal("mem profile empty after first stop")
+	}
+	stop() // deferred flush lands second: must be a no-op
+	stop() // and stays one
+	if got := size(cpu); got != cpuSize {
+		t.Fatalf("cpu profile rewritten by second stop: %d -> %d bytes", cpuSize, got)
+	}
+	if got := size(mem); got != memSize {
+		t.Fatalf("mem profile rewritten by second stop: %d -> %d bytes", memSize, got)
+	}
+}
+
+// TestCPUOnlyAndMemOnly cover the single-profile paths: the skipped
+// profile's file must not appear.
+func TestCPUOnlyAndMemOnly(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+
+	stop, err := Start(cpu, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop()
+	if _, err := os.Stat(cpu); err != nil {
+		t.Fatalf("cpu-only: cpu profile missing: %v", err)
+	}
+	if _, err := os.Stat(mem); !os.IsNotExist(err) {
+		t.Fatalf("cpu-only: mem profile unexpectedly present (err=%v)", err)
+	}
+
+	stop, err = Start("", mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop()
+	fi, err := os.Stat(mem)
+	if err != nil {
+		t.Fatalf("mem-only: mem profile missing: %v", err)
+	}
+	if fi.Size() == 0 {
+		t.Fatal("mem-only: mem profile empty")
+	}
+}
+
+// TestNoOpWhenBothEmpty asserts the documented no-op contract.
+func TestNoOpWhenBothEmpty(t *testing.T) {
+	stop, err := Start("", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop()
+	stop()
+}
+
+// TestStartErrorPaths: an uncreatable CPU profile path must error (and
+// leave profiling stopped so later Starts work); an uncreatable mem
+// path surfaces at stop without breaking idempotence.
+func TestStartErrorPaths(t *testing.T) {
+	if _, err := Start(filepath.Join(t.TempDir(), "no", "such", "dir", "cpu.pprof"), ""); err == nil {
+		t.Fatal("uncreatable cpu path did not error")
+	}
+	// Profiling must not have been left running: a fresh Start succeeds.
+	cpu := filepath.Join(t.TempDir(), "cpu.pprof")
+	stop, err := Start(cpu, "")
+	if err != nil {
+		t.Fatalf("Start after failed Start: %v", err)
+	}
+	stop()
+
+	// Mem profile failures are reported at stop (to stderr), not as a
+	// Start error — the CPU profile must still have been written.
+	cpu2 := filepath.Join(t.TempDir(), "cpu2.pprof")
+	stop, err = Start(cpu2, filepath.Join(t.TempDir(), "no", "such", "mem.pprof"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop()
+	stop()
+	if fi, err := os.Stat(cpu2); err != nil || fi.Size() == 0 {
+		t.Fatalf("cpu profile lost to mem-path failure: fi=%v err=%v", fi, err)
+	}
+}

@@ -1,0 +1,85 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+
+	"wlan80211/internal/phy"
+	"wlan80211/internal/rate"
+)
+
+// runFERScenario runs a mixed scenario — shadowed dense or
+// deterministic sparse radio, contention, hidden terminals, mixed
+// b/g capability — under the given FER quantum and returns the
+// order-sensitive observation hash plus ground-truth counters.
+func runFERScenario(quantum float64, sigma float64) (uint64, NetStats) {
+	cfg := DefaultConfig()
+	cfg.Seed = 23
+	cfg.Env.ShadowingSigmaDB = sigma
+	cfg.Env.PathLossExponent = 3.5
+	cfg.FERQuantumDB = quantum
+	net := New(cfg)
+	ap := net.AddAP("ap", Position{X: 40, Y: 40}, phy.Channel1)
+	ap.GCapable = true
+	mix := DefaultMix()
+	for i := 0; i < 14; i++ {
+		// A wide ring: far stations ride the low-SNR waterfall where
+		// FER draws actually decide outcomes, near ones capture.
+		p := Position{X: float64(i%7) * 13, Y: float64(i/7) * 55}
+		st := net.AddStation(fmt.Sprintf("st%d", i), p, ap, rate.NewARFFactory())
+		st.GCapable = i%2 == 0 // mixed b/g: OFDM header model in play
+		net.StartTraffic(st, net.PickProfile(mix), 2.0)
+	}
+	var h obsHash
+	net.AddTap(&h)
+	net.RunFor(4 * phy.MicrosPerSecond)
+	return h.h, net.Stats
+}
+
+// TestFERTablePathMatchesAnalytic is the dual-path pin of the
+// quantized-table tentpole: the default-quantum table, an absurdly
+// coarse table, and the disabled-table analytic path must produce
+// bit-identical observation streams and counters, under both the
+// shadowed dense radio and the deterministic sparse one.
+func TestFERTablePathMatchesAnalytic(t *testing.T) {
+	for _, sigma := range []float64{4.0, 0.0} {
+		exactH, exactStats := runFERScenario(-1, sigma) // analytic path
+		if exactH == 0 {
+			t.Fatalf("sigma=%v: no observations — scenario is vacuous", sigma)
+		}
+		if exactStats.Collisions == 0 {
+			t.Fatalf("sigma=%v: no collisions — batched interference path unexercised", sigma)
+		}
+		for _, quantum := range []float64{0, 2.0} {
+			h, stats := runFERScenario(quantum, sigma)
+			if h != exactH {
+				t.Fatalf("sigma=%v quantum=%v: table trace diverges from analytic: %#x vs %#x",
+					sigma, quantum, h, exactH)
+			}
+			if stats != exactStats {
+				t.Fatalf("sigma=%v quantum=%v: stats diverge:\ntable:    %+v\nanalytic: %+v",
+					sigma, quantum, stats, exactStats)
+			}
+		}
+	}
+}
+
+// BenchmarkMediumBatch measures the batched completion path under
+// sustained contention with hidden terminals (real overlap lists, so
+// the pre-summed interference and half-duplex stamps are on the hot
+// path), dense/shadowed and sparse/deterministic.
+func BenchmarkMediumBatch(b *testing.B) {
+	for _, bc := range []struct {
+		name  string
+		sigma float64
+	}{{"dense", 4.0}, {"sparse", 0.0}} {
+		b.Run(bc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				h, stats := runFERScenario(0, bc.sigma)
+				if h == 0 || stats.DataSent == 0 {
+					b.Fatal("vacuous benchmark scenario")
+				}
+			}
+		})
+	}
+}

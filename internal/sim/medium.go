@@ -20,9 +20,21 @@ type medium struct {
 	// senseScratch/candScratch are the reused candidate buffers of the
 	// spatially-culled transmit and complete loops (separate so a
 	// transmit nested under a completion can't clobber the delivery
-	// set).
+	// set). They receive copies of the per-row cached candidate sets.
 	senseScratch []spCand
 	candScratch  []spCand
+	// attachGen counts attach/detach mutations; per-row candidate-set
+	// caches carry the generation they were gathered at, so membership
+	// or delivery-order changes invalidate them without a scan.
+	attachGen uint64
+	// interfScratch holds the batched per-receiver interference sums of
+	// one completion, indexed by node ID (stale outside the receivers
+	// the current completion zeroed).
+	interfScratch []float64
+	// eligScratch holds the subset of candidates that pass the
+	// deterministic delivery gates during one sparse completion's
+	// interference accumulation; consumed before any callback runs.
+	eligScratch []spCand
 }
 
 // transmission is one in-flight frame on the medium. Transmissions
@@ -103,6 +115,7 @@ func (m *medium) attach(n *Node) {
 	n.mediumIdx = len(m.nodes)
 	m.nodes = append(m.nodes, n)
 	n.medium = m
+	m.attachGen++
 }
 
 // detach removes a node (used when an AP switches channels). Removal
@@ -120,6 +133,32 @@ func (m *medium) detach(n *Node) {
 	if n.medium == m {
 		n.medium = nil
 	}
+	m.attachGen++
+}
+
+// cachedCands returns row's gathered candidate set, rebuilding it only
+// when the row or the medium membership changed since the last gather.
+// The returned slice is the cache itself: callers that may trigger
+// nested mediums work (delivery, sense notification) copy it into
+// their scratch first.
+func (m *medium) cachedCands(row *linkRow, owner *Node) []spCand {
+	if row.candsMed != m || row.candsAtt != m.attachGen || row.candsGen != row.gen {
+		row.cands = m.gatherCands(row.cands, row, owner)
+		row.candsMed = m
+		row.candsAtt = m.attachGen
+		row.candsGen = row.gen
+	}
+	return row.cands
+}
+
+// interfFor returns the per-receiver interference scratch sized for n
+// node IDs. Entries are not cleared here: the sparse path zeroes only
+// its candidates' slots, the dense path zeroes the whole span.
+func (m *medium) interfFor(n int) []float64 {
+	if cap(m.interfScratch) < n {
+		m.interfScratch = make([]float64, n)
+	}
+	return m.interfScratch[:n]
 }
 
 // busy reports whether any transmission (other than n's own) is
@@ -206,7 +245,7 @@ func (m *medium) transmit(n *Node, f dot11.Frame, r phy.Rate) phy.Micros {
 	// — every culled node has sense=false, so the dense loop would
 	// skip it anyway.
 	if tx.row.sparse {
-		m.senseScratch = m.gatherCands(m.senseScratch, tx.row, n)
+		m.senseScratch = append(m.senseScratch[:0], m.cachedCands(tx.row, n)...)
 		for _, c := range m.senseScratch {
 			if c.l.sense {
 				c.o.mediumBusyDelta(+1)
@@ -239,26 +278,94 @@ func (m *medium) complete(tx *transmission) {
 	m.active[last] = nil
 	m.active = m.active[:last]
 
+	// Batched pre-pass: one walk of the overlap list per event pop,
+	// instead of one per receiver. Half-duplex senders are stamped with
+	// a completion-unique token (seqnos are unique, so stale stamps from
+	// earlier completions can never match), and per-receiver
+	// interference is accumulated interferer-outer — each receiver's
+	// slot adds the identical terms in the identical seqno order the
+	// old per-receiver walk used, so the float sums are bit-identical.
+	// The FER decision context (table column bracket) is fetched once
+	// per transmission rather than once per receiver.
+	deaf := tx.seqno + 1
+	var interf []float64
+	for _, it := range tx.overlapped {
+		it.from.deafSeq = deaf
+	}
+	var lk phy.FERLookup
+	if m.net.fer != nil {
+		lk = m.net.fer.Lookup(tx.wireLen, tx.rate)
+	}
+
 	// Carrier-sense release, then delivery. Sparse rows gather the
 	// in-range neighborhood once (attachment order, matching the dense
 	// scans): a culled node has sense=false and snr<=0, so the dense
 	// loops would traverse it with zero effect — and zero RNG draws,
 	// since sparse mode implies no shadowing.
 	if tx.row.sparse {
-		m.candScratch = m.gatherCands(m.candScratch, tx.row, tx.from)
-		for _, c := range m.candScratch {
+		m.candScratch = append(m.candScratch[:0], m.cachedCands(tx.row, tx.from)...)
+		cands := m.candScratch
+		if len(tx.overlapped) > 0 {
+			// Accumulate only for candidates that will reach the SINR
+			// test: deliverable's earlier gates (decode floor, OFDM
+			// capability, half-duplex) are all deterministic in sparse
+			// mode — no shadowing, so no RNG draw is skipped — and a
+			// gated-out receiver never reads its interference slot.
+			// Sense-only-range neighbors and b-only receivers of OFDM
+			// frames are most of a campus neighborhood, so this filter,
+			// not the batching, is what keeps the pre-pass cheap.
+			env := &m.net.cfg.Env
+			ofdm := tx.rate.OFDM()
+			elig := m.eligScratch[:0]
+			interf = m.interfFor(len(m.net.nodes))
+			for _, c := range cands {
+				if env.SNRdB(c.l.dBm) <= 0 {
+					continue
+				}
+				if ofdm && !c.o.GCapable {
+					continue
+				}
+				if c.o.deafSeq == deaf {
+					continue
+				}
+				elig = append(elig, c)
+				interf[c.o.ID] = 0
+			}
+			for _, it := range tx.overlapped {
+				// An interferer's pinned row may have culled a receiver;
+				// its sub-floor power still belongs in the sum (mwTo
+				// recomputes from the row's pinned transmitter position).
+				for _, c := range elig {
+					interf[c.o.ID] += m.net.mwTo(it.row, c.o)
+				}
+			}
+			m.eligScratch = elig[:0]
+		}
+		for _, c := range cands {
 			if c.l.sense {
 				c.o.mediumBusyDelta(-1)
 			}
 		}
-		for _, c := range m.candScratch {
-			snr, ok := m.deliverable(c.o, tx, c.l)
+		for _, c := range cands {
+			snr, ok := m.deliverable(c.o, tx, c.l, deaf, interf, lk)
 			if !ok {
 				continue
 			}
 			c.o.receive(tx, snr)
 		}
 	} else {
+		if len(tx.overlapped) > 0 {
+			interf = m.interfFor(len(m.net.nodes))
+			for i := range interf {
+				interf[i] = 0
+			}
+			for _, it := range tx.overlapped {
+				row := it.row.to
+				for i := range row {
+					interf[i] += row[i].mw
+				}
+			}
+		}
 		for _, o := range m.nodes {
 			if o == tx.from {
 				continue
@@ -273,7 +380,7 @@ func (m *medium) complete(tx *transmission) {
 			if o == tx.from {
 				continue
 			}
-			snr, ok := m.deliverable(o, tx, tx.row.to[o.ID])
+			snr, ok := m.deliverable(o, tx, tx.row.to[o.ID], deaf, interf, lk)
 			if !ok {
 				continue
 			}
@@ -335,8 +442,11 @@ func (m *medium) complete(tx *transmission) {
 //
 // A receiver that was itself transmitting during any part of tx is
 // deaf (half-duplex); that is checked before the SINR test so a deaf
-// node is not also counted as a collision victim.
-func (m *medium) deliverable(o *Node, tx *transmission, l link) (snrDB float64, ok bool) {
+// node is not also counted as a collision victim. The per-transmission
+// batch context comes from complete(): deaf is the half-duplex stamp,
+// interf the per-receiver interference sums (nil when nothing
+// overlapped), lk the transmission's FER table bracket.
+func (m *medium) deliverable(o *Node, tx *transmission, l link, deaf uint64, interf []float64, lk phy.FERLookup) (snrDB float64, ok bool) {
 	env := &m.net.cfg.Env
 	rxPower := l.dBm
 	if env.ShadowingSigmaDB > 0 {
@@ -355,30 +465,16 @@ func (m *medium) deliverable(o *Node, tx *transmission, l link) (snrDB float64, 
 	}
 	// Half-duplex: a node transmitting during any part of tx cannot
 	// receive it, regardless of signal strength.
-	for _, it := range tx.overlapped {
-		if it.from == o {
-			return snr, false
-		}
+	if o.deafSeq == deaf {
+		return snr, false
 	}
-	// Sum interference from overlapping transmissions at o. A frame
-	// survives overlap only if its SINR clears the rate-dependent
-	// capture threshold: slower modulations tolerate more interference
-	// (the resilience that makes rate fallback attractive, Sec 3).
-	if len(tx.overlapped) > 0 {
-		interfMW := 0.0
-		if m.net.sparse {
-			// An interferer's pinned row may have culled o; its
-			// sub-floor power still belongs in the sum (mwTo recomputes
-			// from the row's pinned transmitter position on a miss).
-			for _, it := range tx.overlapped {
-				interfMW += m.net.mwTo(it.row, o)
-			}
-		} else {
-			for _, it := range tx.overlapped {
-				interfMW += it.row.to[o.ID].mw
-			}
-		}
-		if interfMW > 0 {
+	// Interference from overlapping transmissions at o, pre-summed by
+	// complete(). A frame survives overlap only if its SINR clears the
+	// rate-dependent capture threshold: slower modulations tolerate
+	// more interference (the resilience that makes rate fallback
+	// attractive, Sec 3).
+	if interf != nil {
+		if interfMW := interf[o.ID]; interfMW > 0 {
 			sinr := rxPower - mwToDBm(interfMW+m.net.noiseMW)
 			if sinr < CaptureThresholdFor(tx.rate, m.net.cfg.CaptureThresholdDB) {
 				m.net.Stats.Collisions++
@@ -387,9 +483,15 @@ func (m *medium) deliverable(o *Node, tx *transmission, l link) (snrDB float64, 
 		}
 	}
 	// Residual bit errors at the noise-only SNR (a captured frame is
-	// decodable by construction; thermal noise still applies).
-	fer := phy.FER(snr, tx.wireLen, tx.rate)
-	if m.net.rng.Float64() < fer {
+	// decodable by construction; thermal noise still applies). The
+	// table decision equals u < phy.FER(snr, ...) exactly; the analytic
+	// branch is the FERQuantumDB<0 dual-path pin.
+	u := m.net.rng.Float64()
+	if m.net.fer != nil {
+		if lk.Lost(u, snr) {
+			return snr, false
+		}
+	} else if u < phy.FER(snr, tx.wireLen, tx.rate) {
 		return snr, false
 	}
 	return snr, true

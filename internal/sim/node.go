@@ -110,6 +110,12 @@ type Node struct {
 	navUntil     phy.Micros
 	idleSince    phy.Micros // when busyCount last reached 0
 	transmitting bool
+	// deafSeq is the half-duplex stamp of the batched delivery pass:
+	// complete() marks every overlapped sender with a completion-unique
+	// token so the per-receiver loop answers "was this node
+	// transmitting during tx?" in O(1). Stale stamps are inert (tokens
+	// are never reused) — pure scratch, not simulation state.
+	deafSeq uint64
 
 	// Lazy countdown state. The DIFS+backoff wait is bookkept with
 	// O(1) stamps: a busy medium freezes it (paused; slots bank at the

@@ -64,6 +64,14 @@ type Config struct {
 	// dense O(N²) link matrix. Equivalence tests pin the sparse path
 	// against this.
 	ForceDenseLinks bool
+	// FERQuantumDB selects the SNR bin width in dB of the shared
+	// quantized FER table consulted on frame-error draws: 0 selects
+	// phy.DefaultFERQuantumDB, negative disables the table entirely so
+	// every draw evaluates the analytic phy.FER. The table's decisions
+	// are bit-identical to the analytic path at any quantum (see
+	// phy.FERLookup.Lost), so this is purely a performance knob, kept
+	// configurable for dual-path pinning tests.
+	FERQuantumDB float64
 }
 
 // DefaultConfig returns the configuration used by the reproduction
@@ -159,10 +167,25 @@ type linkRow struct {
 
 	sparse   bool
 	ownerPos Position
+	// gen counts buildSparseRow fills; caches keyed on a row carry the
+	// generation they were computed at so a rebuild invalidates them
+	// without a scan (and pinned rows, which are never rebuilt while
+	// held, keep hitting their own generation's entries).
+	gen      uint32
 	ids      []int32
 	ls       []link
 	extraIDs []int32
 	extraLs  []link
+
+	// cands memoizes gatherCands for this row (sparse mode): the
+	// attached in-range candidate set in delivery order, valid while
+	// the row generation and the medium's attachment generation both
+	// stand. Callers copy it into their scratch before iterating so a
+	// nested rebuild cannot clobber a loop in progress.
+	cands    []spCand
+	candsMed *medium
+	candsAtt uint64
+	candsGen uint32
 }
 
 // Network is a simulated 802.11b network.
@@ -188,6 +211,9 @@ type Network struct {
 	// perturbing the per-delivery RNG stream. See spatial.go.
 	sparse bool
 	grid   *cellGrid
+	// fer is the quantized FER table answering frame-error draws (nil
+	// when Config.FERQuantumDB is negative: analytic path).
+	fer *phy.FERTable
 
 	// Transmission pool (see medium.go).
 	txFree []*transmission
@@ -219,7 +245,7 @@ func New(cfg Config) *Network {
 		cfg = DefaultConfig()
 	}
 	src := detrand.New(cfg.Seed)
-	return &Network{
+	n := &Network{
 		cfg:     cfg,
 		rng:     rand.New(src),
 		rngSrc:  src,
@@ -228,6 +254,10 @@ func New(cfg Config) *Network {
 		noiseMW: pow10(cfg.Env.NoiseFloorDBm / 10),
 		sparse:  cfg.Env.ShadowingSigmaDB == 0 && !cfg.ForceDenseLinks,
 	}
+	if cfg.FERQuantumDB >= 0 {
+		n.fer = phy.SharedFERTable(cfg.FERQuantumDB)
+	}
+	return n
 }
 
 // Now returns the current simulation time.

@@ -169,6 +169,7 @@ func (g *cellGrid) forRing(cx, cy, r int, fn func(*Node)) {
 func (n *Network) buildSparseRow(row *linkRow, node *Node) {
 	g := n.spatialIndex(row.power)
 	row.ownerPos = node.Pos
+	row.gen++ // invalidate caches keyed on this row's content
 	row.ids, row.ls = row.ids[:0], row.ls[:0]
 	row.extraIDs, row.extraLs = row.extraIDs[:0], row.extraLs[:0]
 	cx, cy := g.cellOf(node.Pos)

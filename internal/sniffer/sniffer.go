@@ -86,6 +86,9 @@ type Sniffer struct {
 	// (TPC, mobility) invalidate entries lazily.
 	memos   []txMemo
 	noiseMW float64
+	// fer is the shared quantized FER table (default quantum); its
+	// decisions are bit-identical to the analytic phy.FER draw.
+	fer *phy.FERTable
 
 	// Loss accounting (ground truth for validating the paper's
 	// unrecorded-frame estimators).
@@ -125,6 +128,7 @@ func New(cfg Config) *Sniffer {
 		rng:     rand.New(src),
 		rngSrc:  src,
 		noiseMW: dbmToMW(cfg.Env.NoiseFloorDBm),
+		fer:     phy.SharedFERTable(0),
 	}
 }
 
@@ -226,8 +230,11 @@ func (s *Sniffer) ObserveTransmission(o sim.TxObservation) {
 		}
 	}
 
-	// Bit errors.
-	if s.rng.Float64() < phy.FER(snr, o.WireLen, o.Rate) {
+	// Bit errors. The table decision is bit-identical to drawing
+	// against the analytic phy.FER (and the draw comes first either
+	// way), so routing through the shared quantized table changes only
+	// the per-frame cost, not the capture stream.
+	if u := s.rng.Float64(); s.fer.Lookup(o.WireLen, o.Rate).Lost(u, snr) {
 		s.LostBitError++
 		return
 	}
