@@ -10,14 +10,19 @@
 // The API surface (see internal/monitor):
 //
 //	GET    /healthz
-//	GET    /api/sessions
-//	POST   /api/sessions
-//	GET    /api/sessions/{id}
-//	DELETE /api/sessions/{id}
-//	GET    /api/sessions/{id}/metrics?window=SECONDS
-//	GET    /api/sessions/{id}/series?seconds=N
-//	GET    /api/sessions/{id}/alerts
-//	POST   /api/sessions/{id}/ingest
+//	GET    /api/v1/sessions
+//	POST   /api/v1/sessions
+//	GET    /api/v1/sessions/{id}
+//	DELETE /api/v1/sessions/{id}
+//	GET    /api/v1/sessions/{id}/metrics?window=SECONDS
+//	GET    /api/v1/sessions/{id}/series?seconds=N
+//	GET    /api/v1/sessions/{id}/alerts
+//	POST   /api/v1/sessions/{id}/ingest
+//
+// The original unversioned /api/sessions... paths still work as
+// deprecated aliases; they serve identical bodies plus a
+// `Deprecation: true` header and a `Link: </api/v1/...>;
+// rel="successor-version"` pointer.
 //
 // SIGINT/SIGTERM shut the daemon down gracefully: the listener stops
 // accepting, every session's source is canceled, and each pipeline

@@ -24,6 +24,15 @@
 //	wlansweep -campaign DIR -checkpoint 5             # journal + snapshot every 5 sim-s
 //	wlansweep -resume DIR                             # skip finished runs, replay-verify
 //	                                                  # interrupted ones, same aggregates
+//
+// Distributed sweeps shard one campaign across worker processes: a
+// coordinator leases spec ranges over HTTP (/api/v1) and folds the
+// uploaded journals into a report byte-identical to a single-process
+// run. Workers are crash-safe the same way campaigns are:
+//
+//	wlansweep -serve :8410 -dispatch DIR -scenarios grid -runs 8   # coordinator
+//	wlansweep -worker http://HOST:8410 -workdir W1                 # as many as you like
+//	wlansweep -serve :8410 -resume DIR                             # resume a coordinator
 package main
 
 import (
@@ -32,15 +41,20 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strconv"
 	"strings"
 	"syscall"
+	"time"
 
+	"wlan80211/internal/dispatch"
 	"wlan80211/internal/experiment"
 	"wlan80211/internal/phy"
 	"wlan80211/internal/prof"
+	"wlan80211/internal/snapshot"
 )
 
 // jsonReport is the -json document: the expanded matrix, one row per
@@ -77,6 +91,12 @@ func main() {
 		campaign  = flag.String("campaign", "", "run as a crash-resumable campaign in this directory (journal + snapshots)")
 		resume    = flag.String("resume", "", "resume the campaign in this directory (matrix flags ignored; campaign.json is authoritative)")
 		checkp    = flag.Float64("checkpoint", 0, "with -campaign: mid-run snapshot interval in sim-seconds (0 = journal only)")
+		serve     = flag.String("serve", "", "run as a distributed-sweep coordinator listening on this address (host:port)")
+		dispatchD = flag.String("dispatch", "", "with -serve: coordinator state directory")
+		shardSize = flag.Int("shard-size", 1, "with -serve: specs per worker lease")
+		leaseTTL  = flag.Float64("lease-ttl", 15, "with -serve: seconds a lease survives without a heartbeat before its shard is reassigned")
+		workerURL = flag.String("worker", "", "run as a distributed-sweep worker against this coordinator URL")
+		workdir   = flag.String("workdir", "wlansweep-worker", "with -worker: worker state directory (shard campaigns live here)")
 		list      = flag.Bool("list", false, "list registered scenarios and exit")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the matrix run to this file")
 		memProf   = flag.String("memprofile", "", "write an allocs/heap profile to this file at exit")
@@ -113,15 +133,50 @@ func main() {
 		}
 	}
 
-	specs, err := m.Expand()
-	if err != nil {
-		fatal(err)
-	}
 	// SIGINT/SIGTERM stops dispatching new runs; in-flight runs
 	// complete and the partial matrix is still reported, so a long
 	// sweep cut short keeps what it already paid for.
 	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stopSignals()
+
+	if *serve != "" || *workerURL != "" {
+		if *serve != "" && *workerURL != "" {
+			fatal(errors.New("-serve and -worker are mutually exclusive"))
+		}
+		if *campaign != "" || *reduce {
+			fatal(errors.New("-serve/-worker do not combine with -campaign or -reduce"))
+		}
+		if *workerURL != "" {
+			if *resume != "" {
+				fatal(errors.New("-worker does not take -resume (workers resume their own shard journals automatically)"))
+			}
+			runWorkerMode(ctx, *workerURL, *workdir, *workers)
+			return
+		}
+		cfg := dispatch.Config{
+			CheckpointMicros: int64(*checkp * float64(phy.MicrosPerSecond)),
+			Metrics:          splitList(*metrics),
+			ShardSize:        *shardSize,
+			LeaseTTL:         time.Duration(*leaseTTL * float64(time.Second)),
+			Logf:             logStderr,
+		}
+		switch {
+		case *resume != "":
+			cfg.Dir = *resume // manifest is authoritative; matrix flags ignored
+		case *dispatchD != "":
+			cfg.Dir = *dispatchD
+			cfg.Matrix = m
+		default:
+			fatal(errors.New("-serve requires -dispatch DIR (or -resume DIR)"))
+		}
+		runServeMode(ctx, *serve, cfg, *jsonOut)
+		return
+	}
+
+	specs, err := m.Expand()
+	if err != nil {
+		fatal(err)
+	}
 
 	if *campaign != "" || *resume != "" {
 		if *campaign != "" && *resume != "" {
@@ -290,6 +345,81 @@ func runCampaignMode(ctx context.Context, startDir, resumeDir string, m experime
 		profStop()
 		os.Exit(130)
 	}
+}
+
+// runServeMode runs the distributed-sweep coordinator: serve the
+// /api/v1 lease protocol until every shard folds, then emit the
+// report — a byte-copy of the coordinator's folded bytes, so it diffs
+// clean against a single-process `-campaign -json` run. Exit statuses
+// match the campaign path: 130 when interrupted (resume with -serve
+// -resume DIR), 2 on hard errors.
+func runServeMode(ctx context.Context, addr string, cfg dispatch.Config, jsonOut string) {
+	co, err := dispatch.New(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		fatal(err)
+	}
+	srv := &http.Server{Handler: dispatch.NewServer(co), ReadHeaderTimeout: 10 * time.Second}
+	logStderr("coordinator %s listening on http://%s", cfg.Dir, ln.Addr())
+	go func() {
+		if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, "wlansweep:", err)
+		}
+	}()
+	interrupted := false
+	select {
+	case <-co.Done():
+	case <-ctx.Done():
+		interrupted = true
+	}
+	sctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	srv.Shutdown(sctx)
+	if interrupted {
+		logStderr("coordinator interrupted; continue with -serve %s -resume %s", addr, cfg.Dir)
+		profStop()
+		os.Exit(130)
+	}
+	data, _ := co.Report()
+	switch jsonOut {
+	case "":
+	case "-":
+		os.Stdout.Write(data)
+	default:
+		if err := snapshot.AtomicWriteFile(jsonOut, data); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// runWorkerMode joins a distributed sweep until the coordinator says
+// the campaign is done. Shard campaigns live under dir, so a worker
+// killed and restarted with the same -workdir resumes its own
+// journals.
+func runWorkerMode(ctx context.Context, url, dir string, workers int) {
+	host, _ := os.Hostname()
+	w := &dispatch.Worker{
+		Coordinator: strings.TrimRight(url, "/"),
+		Dir:         dir,
+		Name:        fmt.Sprintf("%s-%d", host, os.Getpid()),
+		Workers:     workers,
+		Logf:        logStderr,
+	}
+	err := w.Run(ctx)
+	switch {
+	case errors.Is(err, context.Canceled):
+		profStop()
+		os.Exit(130)
+	case err != nil:
+		fatal(err)
+	}
+}
+
+func logStderr(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "wlansweep: "+format+"\n", args...)
 }
 
 func splitList(s string) []string {

@@ -61,14 +61,20 @@ type CampaignOptions struct {
 	// Injector arms a deterministic crash point (tests and the CI
 	// kill-and-resume job).
 	Injector *faultinject.Injector
+	// Range restricts execution to spec indices [From, To) of the
+	// expanded matrix — a dispatch worker's leased shard. The matrix
+	// (and the journal's index space) stays global, so shard journals
+	// from different ranges fold together in global spec order.
+	Range *SpecRange
 }
 
 // Manifest is the persisted campaign identity (campaign.json).
 type Manifest struct {
-	Version          int      `json:"version"`
-	Matrix           Matrix   `json:"matrix"`
-	CheckpointMicros int64    `json:"checkpoint_micros"`
-	Metrics          []string `json:"metrics,omitempty"`
+	Version          int        `json:"version"`
+	Matrix           Matrix     `json:"matrix"`
+	CheckpointMicros int64      `json:"checkpoint_micros"`
+	Metrics          []string   `json:"metrics,omitempty"`
+	Range            *SpecRange `json:"range,omitempty"`
 }
 
 // RunRecord is one completed run as journaled.
@@ -143,36 +149,63 @@ type journalLine struct {
 	Rec json.RawMessage `json:"rec"`
 }
 
-// openJournal reads an existing journal (verifying every record's
-// CRC), truncates a torn tail line if the last append was interrupted
-// mid-write, and opens the file for appending. Corruption anywhere
-// but the tail is a hard error — that is damage, not a crash artifact.
-func openJournal(path string) (*journal, []RunRecord, error) {
-	data, err := os.ReadFile(path)
-	if err != nil && !os.IsNotExist(err) {
-		return nil, nil, err
-	}
+// scanJournal parses data's valid newline-terminated prefix,
+// returning the records and the prefix's byte length. A damaged or
+// unterminated tail line is tolerated — it is the torn-append
+// artifact of a crash (even a fragment that happens to parse is not
+// trustworthy without its terminator). Corruption anywhere but the
+// tail is a hard error — that is damage, not a crash artifact.
+func scanJournal(path string, data []byte) ([]RunRecord, int, error) {
 	var recs []RunRecord
 	valid := 0 // byte length of the valid, newline-terminated prefix
 	for valid < len(data) {
 		nl := bytes.IndexByte(data[valid:], '\n')
 		if nl < 0 {
-			// Unterminated tail: the crash interrupted an append (even
-			// a fragment that happens to parse is not trustworthy
-			// without its terminator). Truncate and re-run that run.
 			break
 		}
 		rec, perr := parseJournalLine(data[valid : valid+nl])
 		if perr != nil {
-			// A damaged line at the tail is the torn-append artifact;
-			// anywhere else it is real corruption — fail loud.
 			if valid+nl+1 >= len(data) {
 				break
 			}
-			return nil, nil, fmt.Errorf("experiment: journal %s: corrupt record at offset %d (not at tail): %w", path, valid, perr)
+			return nil, 0, fmt.Errorf("experiment: journal %s: corrupt record at offset %d (not at tail): %w", path, valid, perr)
 		}
 		recs = append(recs, rec)
 		valid += nl + 1
+	}
+	return recs, valid, nil
+}
+
+// ReadJournal reads a campaign journal without opening it for writing
+// and without truncating a torn tail — the read-only view a dispatch
+// worker uses to collect its shard's completed records for upload.
+// A missing journal yields no records and no error.
+func ReadJournal(path string) ([]RunRecord, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	recs, _, err := scanJournal(path, data)
+	return recs, err
+}
+
+// JournalPath returns the journal file inside a campaign directory.
+func JournalPath(dir string) string { return filepath.Join(dir, journalName) }
+
+// openJournal reads an existing journal (verifying every record's
+// CRC), truncates a torn tail line if the last append was interrupted
+// mid-write, and opens the file for appending.
+func openJournal(path string) (*journal, []RunRecord, error) {
+	data, err := os.ReadFile(path)
+	if err != nil && !os.IsNotExist(err) {
+		return nil, nil, err
+	}
+	recs, valid, err := scanJournal(path, data)
+	if err != nil {
+		return nil, nil, err
 	}
 	if valid < len(data) {
 		if err := os.Truncate(path, int64(valid)); err != nil {
@@ -234,8 +267,46 @@ func (j *journal) close() error { return j.f.Close() }
 // RunCampaign starts (or continues — the journal makes it idempotent)
 // a campaign in dir. The directory is created if needed; an existing
 // campaign.json must describe the same matrix and options.
+//
+// Deprecated: RunCampaign is a thin compat wrapper over
+// Runner.Execute with ModeCampaign; new callers should use Runner.
 func RunCampaign(ctx context.Context, dir string, m Matrix, opts CampaignOptions) (*CampaignResult, error) {
-	man := Manifest{Version: 1, Matrix: m, CheckpointMicros: int64(opts.Checkpoint), Metrics: opts.Metrics}
+	ex, err := (&Runner{}).Execute(ctx, RunSpecOpts{
+		Mode: ModeCampaign, Matrix: m, CampaignDir: dir,
+		Workers: opts.Workers, Metrics: opts.Metrics,
+		CheckpointMicros: int64(opts.Checkpoint),
+		Range:            opts.Range, Injector: opts.Injector,
+	})
+	if ex == nil {
+		return nil, err
+	}
+	return ex.Campaign, err
+}
+
+// ResumeCampaign continues the campaign in dir, re-expanding the
+// matrix from campaign.json: finished runs are folded straight from
+// the journal, interrupted ones are deterministically replayed with
+// their latest snapshot verified byte-for-byte at its sim instant.
+//
+// Deprecated: ResumeCampaign is a thin compat wrapper over
+// Runner.Execute with ModeCampaign and Resume; new callers should use
+// Runner.
+func ResumeCampaign(ctx context.Context, dir string, opts CampaignOptions) (*CampaignResult, error) {
+	ex, err := (&Runner{}).Execute(ctx, RunSpecOpts{
+		Mode: ModeCampaign, CampaignDir: dir, Resume: true,
+		Workers: opts.Workers, Injector: opts.Injector,
+	})
+	if ex == nil {
+		return nil, err
+	}
+	return ex.Campaign, err
+}
+
+// startCampaignDir creates (or matches) the campaign manifest in dir
+// and runs the pending specs — Runner.Execute's ModeCampaign start
+// path.
+func startCampaignDir(ctx context.Context, dir string, m Matrix, opts CampaignOptions) (*CampaignResult, error) {
+	man := Manifest{Version: 1, Matrix: m, CheckpointMicros: int64(opts.Checkpoint), Metrics: opts.Metrics, Range: opts.Range}
 	if err := os.MkdirAll(filepath.Join(dir, snapshotsDir), 0o755); err != nil {
 		return nil, err
 	}
@@ -254,17 +325,16 @@ func RunCampaign(ctx context.Context, dir string, m Matrix, opts CampaignOptions
 	return runCampaign(ctx, dir, man, opts)
 }
 
-// ResumeCampaign continues the campaign in dir, re-expanding the
-// matrix from campaign.json: finished runs are folded straight from
-// the journal, interrupted ones are deterministically replayed with
-// their latest snapshot verified byte-for-byte at its sim instant.
-func ResumeCampaign(ctx context.Context, dir string, opts CampaignOptions) (*CampaignResult, error) {
+// resumeCampaignDir continues the campaign in dir with the on-disk
+// manifest authoritative — Runner.Execute's ModeCampaign resume path.
+func resumeCampaignDir(ctx context.Context, dir string, opts CampaignOptions) (*CampaignResult, error) {
 	man, err := readManifest(filepath.Join(dir, manifestName))
 	if err != nil {
 		return nil, fmt.Errorf("experiment: resume %s: %w", dir, err)
 	}
 	opts.Checkpoint = phy.Micros(man.CheckpointMicros)
 	opts.Metrics = man.Metrics
+	opts.Range = man.Range
 	if err := os.MkdirAll(filepath.Join(dir, snapshotsDir), 0o755); err != nil {
 		return nil, err
 	}
@@ -274,6 +344,66 @@ func ResumeCampaign(ctx context.Context, dir string, opts CampaignOptions) (*Cam
 // ReadManifest loads a campaign directory's manifest.
 func ReadManifest(dir string) (Manifest, error) {
 	return readManifest(filepath.Join(dir, manifestName))
+}
+
+// validateRecord checks a journaled (or uploaded) record against the
+// expanded matrix: the index must exist and the identity fields must
+// match what the matrix expands to at that index.
+func validateRecord(specs []Spec, rec RunRecord) error {
+	if rec.Index < 0 || rec.Index >= len(specs) {
+		return fmt.Errorf("experiment: journal records run %d, matrix has %d runs", rec.Index, len(specs))
+	}
+	sp := specs[rec.Index]
+	if rec.Name != sp.Name || rec.Seed != sp.Seed || rec.Scale != sp.Scale {
+		return fmt.Errorf("experiment: journal run %d is %s/seed=%d/scale=%g, matrix expands to %s/seed=%d/scale=%g",
+			rec.Index, rec.Name, rec.Seed, rec.Scale, sp.Name, sp.Seed, sp.Scale)
+	}
+	return nil
+}
+
+// FoldRecords assembles a CampaignResult from journal records gathered
+// out of band — the dispatch coordinator folding worker shard uploads,
+// or a partition test folding per-range journals. Records may arrive
+// in any order and from overlapping leases: duplicates for a spec
+// index are fine when bit-identical (runs are deterministic, so a
+// rerun of the same spec journals the same record) and a hard error
+// when they differ, because that means two workers disagreed on a
+// deterministic computation. Done records fold in global spec order,
+// so the aggregates — and the report built from the result — are
+// byte-identical to a single-process campaign over the same matrix.
+func FoldRecords(man Manifest, recs []RunRecord) (*CampaignResult, error) {
+	specs, err := man.Matrix.Expand()
+	if err != nil {
+		return nil, err
+	}
+	res := &CampaignResult{
+		Specs:   specs,
+		Records: make([]RunRecord, len(specs)),
+		Done:    make([]bool, len(specs)),
+	}
+	for _, rec := range recs {
+		if err := validateRecord(specs, rec); err != nil {
+			return nil, err
+		}
+		if res.Done[rec.Index] {
+			if rec != res.Records[rec.Index] {
+				return nil, fmt.Errorf("experiment: conflicting records for run %d (%s seed=%d scale=%g): trace %s vs %s",
+					rec.Index, rec.Name, rec.Seed, rec.Scale, rec.TraceHash, res.Records[rec.Index].TraceHash)
+			}
+			continue
+		}
+		res.Records[rec.Index] = rec
+		res.Done[rec.Index] = true
+		res.FromJournal++
+	}
+	var rrs []RunResult
+	for i := range specs {
+		if res.Done[i] {
+			rrs = append(rrs, RunResult{Spec: specs[i], Summary: res.Records[i].Summary})
+		}
+	}
+	res.Aggregates = Aggregate(rrs)
+	return res, nil
 }
 
 func readManifest(path string) (Manifest, error) {
@@ -308,13 +438,8 @@ func runCampaign(ctx context.Context, dir string, man Manifest, opts CampaignOpt
 		Done:    make([]bool, len(specs)),
 	}
 	for _, rec := range journaled {
-		if rec.Index < 0 || rec.Index >= len(specs) {
-			return nil, fmt.Errorf("experiment: journal records run %d, matrix has %d runs", rec.Index, len(specs))
-		}
-		sp := specs[rec.Index]
-		if rec.Name != sp.Name || rec.Seed != sp.Seed || rec.Scale != sp.Scale {
-			return nil, fmt.Errorf("experiment: journal run %d is %s/seed=%d/scale=%g, matrix expands to %s/seed=%d/scale=%g",
-				rec.Index, rec.Name, rec.Seed, rec.Scale, sp.Name, sp.Seed, sp.Scale)
+		if err := validateRecord(specs, rec); err != nil {
+			return nil, err
 		}
 		if !res.Done[rec.Index] {
 			res.FromJournal++
@@ -323,9 +448,11 @@ func runCampaign(ctx context.Context, dir string, man Manifest, opts CampaignOpt
 		res.Done[rec.Index] = true
 	}
 
+	// A range-restricted campaign (a dispatch worker's shard) only
+	// runs its leased indices; the journal and fold stay global.
 	var pending []int
 	for i := range specs {
-		if !res.Done[i] {
+		if !res.Done[i] && opts.Range.Contains(i) {
 			pending = append(pending, i)
 		}
 	}
@@ -543,8 +670,9 @@ func (e *Engine) runOneCheckpointed(spec Spec, env checkpointEnv) (Summary, stri
 	case env.verify != nil && !can:
 		return Summary{}, "", fmt.Errorf("scenario is not checkpointable but snapshot exists")
 	case !can || (env.snapPath == "" && env.verify == nil):
-		// Run-to-completion fallback (sweep/ladder, or checkpointing
-		// off): the journal still records the completion.
+		// Run-to-completion fallback (non-checkpointable custom
+		// scenario, or checkpointing off): the journal still records
+		// the completion.
 		if err := run.Stream(sink); err != nil {
 			return Summary{}, "", err
 		}

@@ -50,6 +50,11 @@ func TestCheckpointedTraceHashMatchesUninterrupted(t *testing.T) {
 		// grid256 exercises the sparse spatially-culled link rows and
 		// index witness through the snapshot/replay round-trip.
 		{"grid256", 0.5},
+		// sweep/ladder became Checkpointable with the dispatch work;
+		// ladder additionally crosses rung boundaries, exercising the
+		// global-clock slice times.
+		{"sweep", 0.15},
+		{"ladder", 0.1},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

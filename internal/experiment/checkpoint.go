@@ -11,14 +11,18 @@ import (
 	"wlan80211/internal/sim"
 	"wlan80211/internal/snapshot"
 	"wlan80211/internal/sniffer"
+	"wlan80211/internal/workload"
 )
 
 // Checkpointable is a Run whose stream can be sliced at sim-time
 // boundaries and whose full simulator state can be captured between
-// events. The session (day/plenary) and grid scenarios implement it;
-// sweeps and ladders chain several simulators and fall back to
-// run-to-completion (the campaign journal still makes them skippable
-// once finished).
+// events. All built-in scenario shapes implement it: session
+// (day/plenary) and grid runs slice their single network at interval
+// boundaries; sweep runs do the same; ladder runs chain several
+// simulators and slice each rung at interval boundaries plus the rung
+// ends, reporting slice times on the ladder's global clock — so a
+// worker crash mid-ladder resumes (replay-verifies against the last
+// snapshot) instead of silently rerunning the whole shard.
 type Checkpointable interface {
 	Run
 	// StreamSlices streams exactly like Stream — the event sequence and
@@ -53,6 +57,59 @@ func (r gridRun) CaptureState() (*sim.NetworkState, []sniffer.State) {
 		states[i] = sn.CaptureState()
 	}
 	return r.b.Net.CaptureState(), states
+}
+
+// StreamSlices implements Checkpointable for the single-cell sweep:
+// build, then advance the one network in interval steps, exactly like
+// the session scenarios.
+func (r *sweepRun) StreamSlices(sink Sink, interval phy.Micros, atSlice func(phy.Micros) error) error {
+	net, sn := r.s.Build()
+	r.net, r.sn = net, sn
+	sn.SetEmit(sink)
+	total := phy.Micros(r.s.DurationSec()) * phy.MicrosPerSecond
+	return workload.RunSlices(net, total, interval, atSlice)
+}
+
+func (r *sweepRun) CaptureState() (*sim.NetworkState, []sniffer.State) {
+	return r.net.CaptureState(), []sniffer.State{r.sn.CaptureState()}
+}
+
+// StreamSlices implements Checkpointable for ladders. Each rung is
+// sliced at interval boundaries within its own epoch (interval <= 0
+// slices only at rung ends), and slice times are reported on the
+// ladder's global clock — shift + local t — so they are strictly
+// increasing across rungs and a resume replays to exactly the same
+// instant. The emitted stream is bit-identical to Stream: the time
+// shift is the same, and slicing is invisible to each rung's
+// simulation (see workload.RunSlices).
+func (r *ladderRun) StreamSlices(sink Sink, interval phy.Micros, atSlice func(phy.Micros) error) error {
+	var offset phy.Micros
+	for _, sw := range r.ladder {
+		shift := offset
+		net, sn := sw.Build()
+		r.net, r.sn = net, sn
+		sn.SetEmit(func(rec capture.Record) {
+			rec.Time += shift
+			sink(rec)
+		})
+		total := phy.Micros(sw.DurationSec()) * phy.MicrosPerSecond
+		err := workload.RunSlices(net, total, interval, func(t phy.Micros) error {
+			return atSlice(shift + t)
+		})
+		if err != nil {
+			return err
+		}
+		offset += phy.Micros(sw.DurationSec()+1) * phy.MicrosPerSecond
+	}
+	return nil
+}
+
+// CaptureState returns the current rung's state. A ladder snapshot
+// taken at a global slice instant t witnesses the rung live at t;
+// replay rebuilds the earlier rungs deterministically and passes
+// through the identical state at the identical instant.
+func (r *ladderRun) CaptureState() (*sim.NetworkState, []sniffer.State) {
+	return r.net.CaptureState(), []sniffer.State{r.sn.CaptureState()}
 }
 
 // TraceHasher is a pass-through pipeline stage that folds every record

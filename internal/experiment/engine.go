@@ -156,8 +156,15 @@ type Engine struct {
 // downstream aggregation is deterministic regardless of worker count
 // or completion order. Per-run failures land in RunResult.Err rather
 // than aborting the matrix.
+//
+// Deprecated: Run is a thin compat wrapper over Runner.Execute with
+// ModeCollect; new callers should use Runner.
 func (e *Engine) Run(specs []Spec) []RunResult {
-	return e.RunContext(context.Background(), specs)
+	if specs == nil {
+		specs = []Spec{} // nil means "use Matrix" to Execute
+	}
+	ex, _ := (&Runner{Engine: e}).Execute(context.Background(), RunSpecOpts{Mode: ModeCollect, Specs: specs})
+	return ex.Results
 }
 
 // RunContext is Run with cooperative cancellation: once ctx is done,
@@ -244,8 +251,15 @@ func (e *Engine) runOne(spec Spec) RunResult {
 // Aggregate(e.Run(specs)); per-spec failures land in the returned
 // error slice (nil entries for successes) and count in
 // Aggregated.Errors.
+//
+// Deprecated: RunReduce is a thin compat wrapper over Runner.Execute
+// with ModeReduce; new callers should use Runner.
 func (e *Engine) RunReduce(specs []Spec) ([]Aggregated, []error) {
-	return e.RunReduceContext(context.Background(), specs)
+	if specs == nil {
+		specs = []Spec{} // nil means "use Matrix" to Execute
+	}
+	ex, _ := (&Runner{Engine: e}).Execute(context.Background(), RunSpecOpts{Mode: ModeReduce, Specs: specs})
+	return ex.Aggregates, ex.Errs
 }
 
 // RunReduceContext is RunReduce with cooperative cancellation,

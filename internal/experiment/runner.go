@@ -1,0 +1,203 @@
+package experiment
+
+import (
+	"context"
+	"fmt"
+
+	"wlan80211/internal/experiment/faultinject"
+	"wlan80211/internal/phy"
+)
+
+// This file is the unified entry point for running experiments. The
+// engine grew four parallel entry points over time — Engine.Run,
+// Engine.RunReduce, RunCampaign, ResumeCampaign — each with its own
+// parameter list, which made "what to run" impossible to describe in
+// one serializable value (the thing a remote-worker protocol needs).
+// Runner.Execute(RunSpecOpts) replaces them: one options struct that
+// JSON-round-trips (minus in-process escape hatches), one result
+// shape, with the old signatures kept as thin deprecated compat
+// wrappers over it.
+
+// RunMode selects Runner.Execute's execution strategy.
+type RunMode string
+
+const (
+	// ModeCollect runs every spec and retains per-run results
+	// (Engine.Run's behavior).
+	ModeCollect RunMode = "collect"
+	// ModeReduce folds summaries as runs complete, retaining only
+	// aggregates — O(groups+workers) memory (Engine.RunReduce).
+	ModeReduce RunMode = "reduce"
+	// ModeCampaign runs as a crash-resumable journaled campaign in
+	// CampaignDir (RunCampaign/ResumeCampaign).
+	ModeCampaign RunMode = "campaign"
+)
+
+// SpecRange restricts execution to the expanded matrix's spec indices
+// [From, To). Spec indices are global — defined by Matrix.Expand order
+// — so a range names the same runs on every machine, which is what
+// lets a coordinator lease disjoint ranges to workers and fold their
+// journals back in global spec order.
+type SpecRange struct {
+	From int `json:"from"`
+	To   int `json:"to"`
+}
+
+// Contains reports whether spec index i falls in the range.
+func (r *SpecRange) Contains(i int) bool {
+	return r == nil || (i >= r.From && i < r.To)
+}
+
+// validate checks the range against an expanded spec count.
+func (r *SpecRange) validate(n int) error {
+	if r == nil {
+		return nil
+	}
+	if r.From < 0 || r.To > n || r.From >= r.To {
+		return fmt.Errorf("experiment: spec range [%d,%d) invalid for %d specs", r.From, r.To, n)
+	}
+	return nil
+}
+
+// RunSpecOpts is the single serializable description of "what to
+// run": the matrix, the execution mode, and the mode's knobs. The
+// dispatch coordinator hands one of these (matrix + campaign knobs +
+// a spec range) to each worker; in-process callers use the same
+// struct, optionally with the non-serializable escape hatches.
+type RunSpecOpts struct {
+	// Matrix is the seeds × scales × scenarios grid to expand.
+	Matrix Matrix `json:"matrix"`
+	// Mode selects the strategy; empty means ModeCollect.
+	Mode RunMode `json:"mode,omitempty"`
+	// Workers bounds concurrent runs; <=0 means GOMAXPROCS.
+	Workers int `json:"workers,omitempty"`
+	// Metrics selects analysis stages by name (empty = all).
+	Metrics []string `json:"metrics,omitempty"`
+	// Range restricts execution to spec indices [From, To) of the
+	// expanded matrix; nil means every spec.
+	Range *SpecRange `json:"range,omitempty"`
+
+	// CampaignDir is the journaled campaign directory (ModeCampaign).
+	CampaignDir string `json:"campaign_dir,omitempty"`
+	// CheckpointMicros is the mid-run snapshot interval in sim
+	// microseconds (ModeCampaign); 0 disables mid-run snapshots.
+	CheckpointMicros int64 `json:"checkpoint_micros,omitempty"`
+	// Resume continues the campaign already in CampaignDir: the
+	// on-disk manifest is authoritative and Matrix, Metrics,
+	// CheckpointMicros, and Range are taken from it.
+	Resume bool `json:"resume,omitempty"`
+
+	// Specs overrides Matrix expansion with pre-built specs — an
+	// in-process escape hatch for callers that already expanded (the
+	// legacy Engine.Run/RunReduce signatures). Not serializable, not
+	// valid with ModeCampaign.
+	Specs []Spec `json:"-"`
+	// Injector arms a deterministic crash point (ModeCampaign tests).
+	Injector *faultinject.Injector `json:"-"`
+}
+
+// Execution is what Runner.Execute produced. Fields are filled per
+// mode; Aggregates is always set on success (and on interruption, for
+// the runs that did complete).
+type Execution struct {
+	// Specs are the executed specs: the expanded matrix restricted to
+	// Range (ModeCollect/ModeReduce), or the full expansion
+	// (ModeCampaign, where Range restricts running, not folding).
+	Specs []Spec
+	// Results holds per-run results in spec order (ModeCollect only).
+	Results []RunResult
+	// Errs holds per-spec errors in spec order (ModeReduce only; nil
+	// entries for successes).
+	Errs []error
+	// Aggregates are the scenario+scale group reductions.
+	Aggregates []Aggregated
+	// Campaign is the campaign state (ModeCampaign only), including
+	// partial state when the run was interrupted.
+	Campaign *CampaignResult
+}
+
+// Runner executes experiment matrices. The zero value is ready to
+// use; Engine pins a specific engine (its Workers/Metrics override
+// the opts', and RunReduce bookkeeping like PeakPending lands on it).
+type Runner struct {
+	// Engine, when non-nil, is the engine to execute on. Nil means a
+	// fresh engine configured from the opts.
+	Engine *Engine
+}
+
+// Execute runs one experiment described by opts and returns its
+// Execution. On cooperative cancellation the completed runs are still
+// aggregated and returned alongside the context error, exactly like
+// the legacy entry points. This is the single entry point the legacy
+// Engine.Run / Engine.RunReduce / RunCampaign / ResumeCampaign
+// signatures wrap.
+func (r *Runner) Execute(ctx context.Context, opts RunSpecOpts) (*Execution, error) {
+	mode := opts.Mode
+	if mode == "" {
+		mode = ModeCollect
+	}
+	if mode == ModeCampaign {
+		return r.executeCampaign(ctx, opts)
+	}
+
+	specs := opts.Specs
+	if specs == nil {
+		var err error
+		if specs, err = opts.Matrix.Expand(); err != nil {
+			return nil, err
+		}
+	}
+	if err := opts.Range.validate(len(specs)); err != nil {
+		return nil, err
+	}
+	if opts.Range != nil {
+		specs = specs[opts.Range.From:opts.Range.To]
+	}
+	eng := r.Engine
+	if eng == nil {
+		eng = &Engine{Workers: opts.Workers, Metrics: opts.Metrics}
+	}
+
+	switch mode {
+	case ModeCollect:
+		results := eng.RunContext(ctx, specs)
+		return &Execution{Specs: specs, Results: results, Aggregates: Aggregate(results)}, nil
+	case ModeReduce:
+		aggs, errs := eng.RunReduceContext(ctx, specs)
+		return &Execution{Specs: specs, Errs: errs, Aggregates: aggs}, nil
+	default:
+		return nil, fmt.Errorf("experiment: unknown run mode %q", mode)
+	}
+}
+
+// executeCampaign is Execute's ModeCampaign arm: create-or-continue
+// (Resume=false, Matrix authoritative and checked against any existing
+// manifest) or resume (Resume=true, manifest authoritative).
+func (r *Runner) executeCampaign(ctx context.Context, opts RunSpecOpts) (*Execution, error) {
+	if opts.CampaignDir == "" {
+		return nil, fmt.Errorf("experiment: ModeCampaign requires CampaignDir")
+	}
+	if opts.Specs != nil {
+		return nil, fmt.Errorf("experiment: ModeCampaign runs from a Matrix, not pre-built Specs (the journal must re-expand them on resume)")
+	}
+	copts := CampaignOptions{
+		Workers:    opts.Workers,
+		Metrics:    opts.Metrics,
+		Checkpoint: phy.Micros(opts.CheckpointMicros),
+		Injector:   opts.Injector,
+		Range:      opts.Range,
+	}
+	var (
+		res *CampaignResult
+		err error
+	)
+	if opts.Resume {
+		res, err = resumeCampaignDir(ctx, opts.CampaignDir, copts)
+	} else {
+		res, err = startCampaignDir(ctx, opts.CampaignDir, opts.Matrix, copts)
+	}
+	if res == nil {
+		return nil, err
+	}
+	return &Execution{Specs: res.Specs, Aggregates: res.Aggregates, Campaign: res}, err
+}

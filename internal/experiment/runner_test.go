@@ -1,0 +1,114 @@
+package experiment
+
+import (
+	"context"
+	"reflect"
+	"testing"
+)
+
+// TestRunnerCollectMatchesRun pins the compat contract: the legacy
+// Engine.Run signature and Runner.Execute(ModeCollect) produce
+// bit-identical summaries and aggregates for the same matrix.
+func TestRunnerCollectMatchesRun(t *testing.T) {
+	m := Matrix{Scenarios: []string{"day"}, Seeds: []int64{1, 2}, Scales: []float64{0.1}}
+	specs, err := m.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacy := (&Engine{Workers: 2}).Run(specs)
+
+	ex, err := (&Runner{}).Execute(context.Background(), RunSpecOpts{Mode: ModeCollect, Matrix: m, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ex.Results) != len(legacy) {
+		t.Fatalf("Execute returned %d results, Run %d", len(ex.Results), len(legacy))
+	}
+	for i := range legacy {
+		if legacy[i].Summary != ex.Results[i].Summary {
+			t.Fatalf("run %d: summary %+v != %+v", i, ex.Results[i].Summary, legacy[i].Summary)
+		}
+	}
+	if !reflect.DeepEqual(ex.Aggregates, Aggregate(legacy)) {
+		t.Fatal("Execute aggregates differ from Aggregate(Run(specs))")
+	}
+}
+
+// TestRunnerReduceMatchesRunReduce: the reduce path through Execute
+// folds to the same aggregates as the legacy signature and as the
+// collect path.
+func TestRunnerReduceMatchesRunReduce(t *testing.T) {
+	m := Matrix{Scenarios: []string{"day"}, Seeds: []int64{1, 2}, Scales: []float64{0.1}}
+	specs, err := m.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacyAggs, legacyErrs := (&Engine{Workers: 2}).RunReduce(specs)
+	for i, err := range legacyErrs {
+		if err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+	}
+
+	ex, err := (&Runner{}).Execute(context.Background(), RunSpecOpts{Mode: ModeReduce, Matrix: m, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ex.Aggregates, legacyAggs) {
+		t.Fatal("Execute(ModeReduce) aggregates differ from RunReduce(specs)")
+	}
+
+	col, err := (&Runner{}).Execute(context.Background(), RunSpecOpts{Mode: ModeCollect, Matrix: m, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ex.Aggregates, col.Aggregates) {
+		t.Fatal("reduce and collect aggregates diverge")
+	}
+}
+
+// TestRunnerRange: a range-restricted Execute runs exactly the
+// sub-slice of the expanded matrix, with the same per-run summaries.
+func TestRunnerRange(t *testing.T) {
+	m := Matrix{Scenarios: []string{"day"}, Seeds: []int64{1, 2, 3}, Scales: []float64{0.1}}
+	full, err := (&Runner{}).Execute(context.Background(), RunSpecOpts{Mode: ModeCollect, Matrix: m, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	part, err := (&Runner{}).Execute(context.Background(), RunSpecOpts{
+		Mode: ModeCollect, Matrix: m, Workers: 2, Range: &SpecRange{From: 1, To: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(part.Results) != 2 {
+		t.Fatalf("range [1,3) ran %d specs, want 2", len(part.Results))
+	}
+	for i, r := range part.Results {
+		if r.Summary != full.Results[i+1].Summary {
+			t.Fatalf("range result %d != full result %d", i, i+1)
+		}
+	}
+
+	for _, bad := range []SpecRange{{From: -1, To: 1}, {From: 0, To: 4}, {From: 2, To: 2}} {
+		if _, err := (&Runner{}).Execute(context.Background(), RunSpecOpts{Matrix: m, Range: &bad}); err == nil {
+			t.Errorf("range %+v accepted for 3 specs", bad)
+		}
+	}
+}
+
+// TestRunnerRejections pins Execute's input validation.
+func TestRunnerRejections(t *testing.T) {
+	m := Matrix{Scenarios: []string{"day"}, Seeds: []int64{1}, Scales: []float64{0.1}}
+	ctx := context.Background()
+	if _, err := (&Runner{}).Execute(ctx, RunSpecOpts{Mode: "bogus", Matrix: m}); err == nil {
+		t.Error("unknown mode accepted")
+	}
+	if _, err := (&Runner{}).Execute(ctx, RunSpecOpts{Mode: ModeCampaign, Matrix: m}); err == nil {
+		t.Error("ModeCampaign without CampaignDir accepted")
+	}
+	specs, _ := m.Expand()
+	if _, err := (&Runner{}).Execute(ctx, RunSpecOpts{Mode: ModeCampaign, CampaignDir: t.TempDir(), Specs: specs}); err == nil {
+		t.Error("ModeCampaign with pre-built Specs accepted")
+	}
+}

@@ -5,6 +5,8 @@ import (
 
 	"wlan80211/internal/capture"
 	"wlan80211/internal/phy"
+	"wlan80211/internal/sim"
+	"wlan80211/internal/sniffer"
 	"wlan80211/internal/workload"
 )
 
@@ -126,13 +128,19 @@ func (c sweepScenario) Params() []Param {
 }
 
 func (c sweepScenario) Build() (Run, error) {
-	return sweepRun{c.s}, nil
+	return &sweepRun{s: c.s}, nil
 }
 
-type sweepRun struct{ s workload.Sweep }
+// sweepRun is a pointer type so StreamSlices can expose the live
+// network and sniffer to CaptureState mid-run (see checkpoint.go).
+type sweepRun struct {
+	s   workload.Sweep
+	net *sim.Network
+	sn  *sniffer.Sniffer
+}
 
-func (r sweepRun) Stream(sink Sink) error {
-	r.s.RunStream(sink)
+func (r *sweepRun) Stream(sink Sink) error {
+	r.sn, r.net = r.s.RunStream(sink)
 	return nil
 }
 
@@ -165,15 +173,21 @@ func (c ladderScenario) Build() (Run, error) {
 	if len(c.ladder) == 0 {
 		return nil, fmt.Errorf("experiment: ladder %q has no sweeps", c.name)
 	}
-	return ladderRun{c.ladder}, nil
+	return &ladderRun{ladder: c.ladder}, nil
 }
 
-type ladderRun struct{ ladder []workload.Sweep }
+// ladderRun is a pointer type so StreamSlices can expose the current
+// rung's live network and sniffer to CaptureState (see checkpoint.go).
+type ladderRun struct {
+	ladder []workload.Sweep
+	net    *sim.Network
+	sn     *sniffer.Sniffer
+}
 
 // Stream runs the rungs sequentially, shifting each rung's timestamps
 // into its own epoch (exactly workload.MultiSweep's offsets) so the
 // combined stream is one gap-free record sequence.
-func (r ladderRun) Stream(sink Sink) error {
+func (r *ladderRun) Stream(sink Sink) error {
 	var offset phy.Micros
 	for _, sw := range r.ladder {
 		shift := offset

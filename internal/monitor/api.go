@@ -7,29 +7,40 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"strings"
 
 	"wlan80211/internal/capture"
 	"wlan80211/internal/phy"
 )
 
-// NewServer builds the daemon's HTTP handler over a manager. Routes:
+// NewServer builds the daemon's HTTP handler over a manager. The
+// versioned surface lives under /api/v1; the original unversioned
+// /api/... paths remain as compatibility aliases that serve the same
+// handlers plus a `Deprecation: true` header and a `Link:
+// </api/v1/...>; rel="successor-version"` pointer. Routes:
 //
-//	GET    /healthz                      — liveness + session count
-//	GET    /api/sessions                 — list sessions
-//	POST   /api/sessions                 — create a session (Config body)
-//	GET    /api/sessions/{id}            — one session
-//	DELETE /api/sessions/{id}            — stop and remove
-//	GET    /api/sessions/{id}/metrics    — windowed metrics (?window=SECONDS)
-//	GET    /api/sessions/{id}/series     — per-second buckets (?seconds=N)
-//	GET    /api/sessions/{id}/alerts     — alert status + history
-//	POST   /api/sessions/{id}/ingest     — push frames (push sessions);
-//	                                       bodies over MaxIngestBytes get 413
+//	GET    /healthz                         — liveness + session count
+//	GET    /api/v1/sessions                 — list sessions
+//	POST   /api/v1/sessions                 — create a session (Config body)
+//	GET    /api/v1/sessions/{id}            — one session
+//	DELETE /api/v1/sessions/{id}            — stop and remove
+//	GET    /api/v1/sessions/{id}/metrics    — windowed metrics (?window=SECONDS)
+//	GET    /api/v1/sessions/{id}/series     — per-second buckets (?seconds=N)
+//	GET    /api/v1/sessions/{id}/alerts     — alert status + history
+//	POST   /api/v1/sessions/{id}/ingest     — push frames (push sessions);
+//	                                          bodies over MaxIngestBytes get 413
 //
 // All responses are JSON; errors use {"error": "..."} with
 // 400/404/413/429. Per-record ingest failures add structured locator
 // fields ("record", "field", "value") beside the error message.
 func NewServer(mgr *Manager) http.Handler {
 	mux := http.NewServeMux()
+	// reg registers one logical route twice: canonical under /api/v1,
+	// legacy alias under /api with the deprecation headers.
+	reg := func(method, path string, h http.HandlerFunc) {
+		mux.HandleFunc(method+" /api/v1"+path, h)
+		mux.HandleFunc(method+" /api"+path, deprecated(h))
+	}
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{
 			"status":       "ok",
@@ -37,7 +48,7 @@ func NewServer(mgr *Manager) http.Handler {
 			"max_sessions": mgr.Max(),
 		})
 	})
-	mux.HandleFunc("GET /api/sessions", func(w http.ResponseWriter, r *http.Request) {
+	reg("GET", "/sessions", func(w http.ResponseWriter, r *http.Request) {
 		sessions := mgr.List()
 		views := make([]View, len(sessions))
 		for i, s := range sessions {
@@ -45,7 +56,7 @@ func NewServer(mgr *Manager) http.Handler {
 		}
 		writeJSON(w, http.StatusOK, map[string]any{"sessions": views})
 	})
-	mux.HandleFunc("POST /api/sessions", func(w http.ResponseWriter, r *http.Request) {
+	reg("POST", "/sessions", func(w http.ResponseWriter, r *http.Request) {
 		var cfg Config
 		if err := json.NewDecoder(r.Body).Decode(&cfg); err != nil {
 			writeErr(w, http.StatusBadRequest, fmt.Errorf("decoding config: %w", err))
@@ -58,17 +69,17 @@ func NewServer(mgr *Manager) http.Handler {
 		}
 		writeJSON(w, http.StatusCreated, s.View())
 	})
-	mux.HandleFunc("GET /api/sessions/{id}", withSession(mgr, func(w http.ResponseWriter, r *http.Request, s *Session) {
+	reg("GET", "/sessions/{id}", withSession(mgr, func(w http.ResponseWriter, r *http.Request, s *Session) {
 		writeJSON(w, http.StatusOK, s.View())
 	}))
-	mux.HandleFunc("DELETE /api/sessions/{id}", func(w http.ResponseWriter, r *http.Request) {
+	reg("DELETE", "/sessions/{id}", func(w http.ResponseWriter, r *http.Request) {
 		if err := mgr.Delete(r.PathValue("id")); err != nil {
 			writeErr(w, statusFor(err), err)
 			return
 		}
 		writeJSON(w, http.StatusOK, map[string]any{"deleted": r.PathValue("id")})
 	})
-	mux.HandleFunc("GET /api/sessions/{id}/metrics", withSession(mgr, func(w http.ResponseWriter, r *http.Request, s *Session) {
+	reg("GET", "/sessions/{id}/metrics", withSession(mgr, func(w http.ResponseWriter, r *http.Request, s *Session) {
 		window := 0
 		if q := r.URL.Query().Get("window"); q != "" {
 			n, err := strconv.Atoi(q)
@@ -80,7 +91,7 @@ func NewServer(mgr *Manager) http.Handler {
 		}
 		writeJSON(w, http.StatusOK, s.Metrics(window))
 	}))
-	mux.HandleFunc("GET /api/sessions/{id}/series", withSession(mgr, func(w http.ResponseWriter, r *http.Request, s *Session) {
+	reg("GET", "/sessions/{id}/series", withSession(mgr, func(w http.ResponseWriter, r *http.Request, s *Session) {
 		n := DefaultMetricsWindowSec
 		if q := r.URL.Query().Get("seconds"); q != "" {
 			v, err := strconv.Atoi(q)
@@ -96,7 +107,7 @@ func NewServer(mgr *Manager) http.Handler {
 		}
 		writeJSON(w, http.StatusOK, map[string]any{"seconds": buckets})
 	}))
-	mux.HandleFunc("GET /api/sessions/{id}/alerts", withSession(mgr, func(w http.ResponseWriter, r *http.Request, s *Session) {
+	reg("GET", "/sessions/{id}/alerts", withSession(mgr, func(w http.ResponseWriter, r *http.Request, s *Session) {
 		eng := s.Alerts()
 		status := eng.Status()
 		if status == nil {
@@ -108,7 +119,7 @@ func NewServer(mgr *Manager) http.Handler {
 		}
 		writeJSON(w, http.StatusOK, map[string]any{"status": status, "history": history})
 	}))
-	mux.HandleFunc("POST /api/sessions/{id}/ingest", withSession(mgr, func(w http.ResponseWriter, r *http.Request, s *Session) {
+	reg("POST", "/sessions/{id}/ingest", withSession(mgr, func(w http.ResponseWriter, r *http.Request, s *Session) {
 		// Cap the request body: an oversized (or unbounded) push must
 		// fail with 413 before it can balloon the daemon's memory, not
 		// be read to completion first.
@@ -160,6 +171,18 @@ func NewServer(mgr *Manager) http.Handler {
 		})
 	}))
 	return mux
+}
+
+// deprecated wraps a legacy unversioned route's handler with the
+// sunset signals (RFC 8594 style): a Deprecation header and a Link to
+// the same resource under /api/v1. The response body is identical —
+// aliases never fork behavior.
+func deprecated(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", `</api/v1`+strings.TrimPrefix(r.URL.Path, "/api")+`>; rel="successor-version"`)
+		h(w, r)
+	}
 }
 
 // withSession resolves {id} and 404s unknown sessions.

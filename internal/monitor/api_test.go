@@ -231,6 +231,77 @@ func TestAPIContract(t *testing.T) {
 	}
 }
 
+// TestAPIVersionedRoutes pins the /api/v1 surface introduced
+// alongside the dispatch API: every route serves identically under
+// /api/v1, legacy /api aliases keep working but carry the deprecation
+// headers, and the canonical routes carry none.
+func TestAPIVersionedRoutes(t *testing.T) {
+	mgr := NewManager(context.Background(), 2)
+	defer mgr.Close()
+	srv := httptest.NewServer(NewServer(mgr))
+	defer srv.Close()
+
+	code, body := do(t, "POST", srv.URL+"/api/v1/sessions", Config{
+		Name: "v1", Source: SourceConfig{Type: SourcePush},
+	})
+	if code != http.StatusCreated {
+		t.Fatalf("v1 create: %d\n%s", code, body)
+	}
+	var created View
+	if err := json.Unmarshal(body, &created); err != nil {
+		t.Fatal(err)
+	}
+	id := created.ID
+
+	// The same session is visible through both route sets, with equal
+	// bodies — aliases never fork behavior.
+	for _, path := range []string{
+		"/sessions", "/sessions/" + id, "/sessions/" + id + "/metrics",
+		"/sessions/" + id + "/series", "/sessions/" + id + "/alerts",
+	} {
+		v1Resp, err := http.Get(srv.URL + "/api/v1" + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var v1Body bytes.Buffer
+		v1Body.ReadFrom(v1Resp.Body)
+		v1Resp.Body.Close()
+		legacyResp, err := http.Get(srv.URL + "/api" + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var legacyBody bytes.Buffer
+		legacyBody.ReadFrom(legacyResp.Body)
+		legacyResp.Body.Close()
+
+		if v1Resp.StatusCode != http.StatusOK || legacyResp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: v1=%d legacy=%d", path, v1Resp.StatusCode, legacyResp.StatusCode)
+		}
+		if v1Body.String() != legacyBody.String() {
+			t.Fatalf("%s: v1 and legacy bodies differ:\n%s\n%s", path, v1Body.String(), legacyBody.String())
+		}
+		if got := v1Resp.Header.Get("Deprecation"); got != "" {
+			t.Fatalf("/api/v1%s carries Deprecation: %q", path, got)
+		}
+		if got := legacyResp.Header.Get("Deprecation"); got != "true" {
+			t.Fatalf("/api%s Deprecation = %q, want \"true\"", path, got)
+		}
+		wantLink := `</api/v1` + path + `>; rel="successor-version"`
+		if got := legacyResp.Header.Get("Link"); got != wantLink {
+			t.Fatalf("/api%s Link = %q, want %q", path, got, wantLink)
+		}
+	}
+
+	// Errors version the same way.
+	code, _ = do(t, "GET", srv.URL+"/api/v1/sessions/nope", nil)
+	if code != http.StatusNotFound {
+		t.Fatalf("v1 unknown session: %d, want 404", code)
+	}
+	if code, _ = do(t, "DELETE", srv.URL+"/api/v1/sessions/"+id, nil); code != http.StatusOK {
+		t.Fatalf("v1 delete: %d", code)
+	}
+}
+
 func TestAPIPcapSession(t *testing.T) {
 	mgr := NewManager(context.Background(), 2)
 	defer mgr.Close()

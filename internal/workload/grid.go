@@ -363,5 +363,5 @@ func (b *GridBuilt) RunStreamSlices(emit func(capture.Record), interval phy.Micr
 		sn.SetEmit(emit)
 	}
 	total := phy.Micros(b.Grid.DurationSec) * phy.MicrosPerSecond
-	return runSlices(b.Net, total, interval, atSlice)
+	return RunSlices(b.Net, total, interval, atSlice)
 }

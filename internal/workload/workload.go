@@ -271,12 +271,18 @@ func (b *Built) RunStreamSlices(emit func(capture.Record), interval phy.Micros, 
 		sn.SetEmit(emit)
 	}
 	total := phy.Micros(b.Session.DurationSec) * phy.MicrosPerSecond
-	return runSlices(b.Net, total, interval, atSlice)
+	return RunSlices(b.Net, total, interval, atSlice)
 }
 
-// runSlices advances net to total in interval steps, invoking atSlice
-// after each boundary.
-func runSlices(net *sim.Network, total, interval phy.Micros, atSlice func(t phy.Micros) error) error {
+// RunSlices advances net to total in interval steps, invoking atSlice
+// between events after each boundary (and at the final instant). An
+// interval <= 0 means a single slice at total. Slicing is invisible to
+// the simulation: RunUntil in steps fires exactly the events one
+// RunUntil would, so the event sequence — and any emitted stream — is
+// bit-identical to an unsliced run. Scenario wrappers that manage
+// their own networks (the experiment package's sweep and ladder runs)
+// use this directly.
+func RunSlices(net *sim.Network, total, interval phy.Micros, atSlice func(t phy.Micros) error) error {
 	if interval <= 0 {
 		interval = total
 	}
